@@ -1,0 +1,109 @@
+"""Extension bench: space-sharing (PR slots) vs time-sharing-only boards.
+
+The paper's future work. Two tenants with *different* accelerators (Sobel
+and MM) share one board. On a classic single-slot board every tenant
+switch forces a full 2.5 s reprogram (and wipes device buffers) — mixed
+tenancy is effectively serialized by reconfiguration. A two-slot board
+holds both bitstreams at once: each build is a one-off 0.4 s partial
+reconfiguration and the kernels execute concurrently.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.device_manager import DeviceManager
+from repro.core.remote_lib import remote_platform
+from repro.fpga import DE5A_NET, FPGABoard, standard_library
+from repro.ocl import CLError, Context
+from repro.rpc import Network
+from repro.sim import Environment
+
+DURATION = 60.0
+
+
+def _tenant(env, node, manager, network, library, name, binary, make_args,
+            counters):
+    """Closed-loop tenant: (re)build → buffers → kernel → read, repeat."""
+
+    def flow():
+        platform = yield from remote_platform(
+            env, name, node, manager, network, library
+        )
+        context = Context(platform.get_devices())
+        queue = context.create_queue()
+        while env.now < DURATION:
+            try:
+                program = context.create_program(binary)
+                yield from program.build()
+                kernel = program.create_kernel(binary)
+                buffers, args = make_args(context)
+                kernel.set_args(*args)
+                yield from queue.run_kernel(kernel)
+                for buffer in buffers:
+                    buffer.release()
+            except CLError:
+                # Board was reprogrammed under us; retry the iteration.
+                continue
+            counters[name] = counters.get(name, 0) + 1
+
+    return flow
+
+
+def _run_mode(pr_slots: int) -> dict:
+    env = Environment()
+    network = Network(env)
+    library = standard_library()
+    node = network.host("B")
+    board = FPGABoard(
+        env, name="fpga-B", spec=replace(DE5A_NET, pr_slots=pr_slots),
+        functional=False,
+    )
+    manager = DeviceManager(env, "dm-B", board, library, network, node)
+    counters: dict = {}
+
+    def sobel_args(context):
+        nbytes = 256 * 256 * 4
+        in_buf = context.create_buffer(nbytes)
+        out_buf = context.create_buffer(nbytes)
+        return [in_buf, out_buf], (in_buf, out_buf, 256, 256)
+
+    def mm_args(context):
+        bufs = [context.create_buffer(256 * 256 * 4) for _ in range(3)]
+        return bufs, (*bufs, 256, 256, 256)
+
+    env.process(_tenant(env, node, manager, network, library,
+                        "fn-sobel", "sobel", sobel_args, counters)())
+    env.process(_tenant(env, node, manager, network, library,
+                        "fn-mm", "mm", mm_args, counters)())
+    env.run(until=DURATION + 5.0)
+    counters["reconfigurations"] = board.reconfigurations
+    counters["partial"] = board.partial_reconfigurations
+    return counters
+
+
+def _run():
+    return {"time_sharing": _run_mode(1), "space_sharing": _run_mode(2)}
+
+
+def test_extension_space_sharing(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    time_sharing = results["time_sharing"]
+    space_sharing = results["space_sharing"]
+
+    ts_total = (time_sharing.get("fn-sobel", 0)
+                + time_sharing.get("fn-mm", 0))
+    ss_total = (space_sharing.get("fn-sobel", 0)
+                + space_sharing.get("fn-mm", 0))
+
+    # Mixed tenancy on one slot thrashes full reconfigurations...
+    assert time_sharing["reconfigurations"] > 5
+    # ...while two slots program each accelerator exactly once.
+    assert space_sharing["partial"] == 2
+    assert space_sharing["reconfigurations"] == 0
+    # And space sharing delivers at least an order of magnitude more work.
+    assert ss_total > 10 * max(ts_total, 1)
+
+    benchmark.extra_info["time_sharing_reqs"] = ts_total
+    benchmark.extra_info["space_sharing_reqs"] = ss_total
+    benchmark.extra_info["full_reconfigs"] = time_sharing["reconfigurations"]

@@ -1,0 +1,45 @@
+"""Figure 4(a): R/W round-trip time vs transfer size (3 systems).
+
+Regenerates the sweep and checks the paper's anchors: local gRPC lands near
+4× the native PCIe time, and shared memory's overhead ceiling is one memcpy
+(~155 ms for 2 GB).
+"""
+
+import pytest
+
+from repro.experiments import run_rw_sweep
+from repro.experiments.fig4 import GiB, KiB, MiB
+
+SIZES = [1 * KiB, 1 * MiB, 128 * MiB, 2 * GiB]
+
+
+def _run():
+    points = run_rw_sweep(sizes=SIZES)
+    by_key = {(p.size, p.system): p.rtt for p in points}
+    return by_key
+
+
+def test_fig4a_rw_sweep(benchmark):
+    by_key = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    native_2g = by_key[(2 * GiB, "native")]
+    grpc_2g = by_key[(2 * GiB, "blastfunction")]
+    shm_2g = by_key[(2 * GiB, "blastfunction_shm")]
+
+    # Paper: native 2 GB is PCIe-bound (~0.32 s).
+    assert native_2g == pytest.approx(0.316, rel=0.05)
+    # Paper: "a total latency of four times w.r.t. the Native execution".
+    assert 3.0 < grpc_2g / native_2g < 4.5
+    # Paper: "a maximum overhead of 155 ms when transferring 2 GBs".
+    assert 0.13 < shm_2g - native_2g < 0.18
+    # Ordering holds across every size.
+    for size in SIZES:
+        assert (
+            by_key[(size, "native")]
+            < by_key[(size, "blastfunction_shm")]
+            < by_key[(size, "blastfunction")]
+        )
+
+    benchmark.extra_info["native_2GB_s"] = round(native_2g, 4)
+    benchmark.extra_info["grpc_over_native"] = round(grpc_2g / native_2g, 2)
+    benchmark.extra_info["shm_overhead_s"] = round(shm_2g - native_2g, 4)

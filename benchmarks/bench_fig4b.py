@@ -1,0 +1,45 @@
+"""Figure 4(b): Sobel operator RTT vs image size (3 systems).
+
+Anchors: native 0.27 ms at 10×10 up to 14.53 ms at 1920×1080; BlastFunction
+with shared memory stays a small constant (~2 ms) above native; pure gRPC
+reaches ~24 ms at the largest image.
+"""
+
+import pytest
+
+from repro.experiments import run_sobel_sweep
+
+SIZES = [(10, 10), (640, 480), (1920, 1080)]
+
+
+def _run():
+    points = run_sobel_sweep(sizes=SIZES)
+    return {(p.label, p.system): p.rtt for p in points}
+
+
+def test_fig4b_sobel_sweep(benchmark):
+    by_key = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    native_min = by_key[("10x10", "native")]
+    native_max = by_key[("1920x1080", "native")]
+    grpc_max = by_key[("1920x1080", "blastfunction")]
+    shm_max = by_key[("1920x1080", "blastfunction_shm")]
+
+    # Paper: 0.27 ms → 14.53 ms native.
+    assert native_min < 0.5e-3
+    assert native_max == pytest.approx(14.53e-3, rel=0.08)
+    # Paper: BlastFunction reaches ~24 ms at 1080p.
+    assert grpc_max == pytest.approx(24e-3, rel=0.15)
+    # Paper: shm keeps a small, roughly constant overhead (~2 ms).
+    for width, height in SIZES:
+        label = f"{width}x{height}"
+        overhead = (
+            by_key[(label, "blastfunction_shm")] - by_key[(label, "native")]
+        )
+        assert 0.5e-3 < overhead < 4e-3
+
+    benchmark.extra_info["native_1080p_ms"] = round(native_max * 1e3, 2)
+    benchmark.extra_info["grpc_1080p_ms"] = round(grpc_max * 1e3, 2)
+    benchmark.extra_info["shm_overhead_ms"] = round(
+        (shm_max - native_max) * 1e3, 2
+    )

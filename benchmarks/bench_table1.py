@@ -1,0 +1,30 @@
+"""Table I: the load configurations driving every multi-function test.
+
+Table I is an input table, not a measurement; this bench regenerates it
+and validates its structure against the paper (per-benchmark configurations
+and descending per-function rates).
+"""
+
+from repro.experiments import TABLE1_RATES, run_table1
+
+
+def _render():
+    return run_table1()
+
+
+def test_table1_configurations(benchmark):
+    text = benchmark.pedantic(_render, rounds=1, iterations=1)
+
+    assert "Use-Case" in text
+    # Paper rows: sobel and MM have low/medium/high, AlexNet only two.
+    assert set(TABLE1_RATES["sobel"]) == {"low", "medium", "high"}
+    assert set(TABLE1_RATES["mm"]) == {"low", "medium", "high"}
+    assert set(TABLE1_RATES["alexnet"]) == {"medium", "high"}
+    for use_case, configurations in TABLE1_RATES.items():
+        for rates in configurations.values():
+            assert len(rates) == 5
+            assert rates == sorted(rates, reverse=True)
+    # Spot-check exact paper values.
+    assert TABLE1_RATES["sobel"]["high"] == [60, 50, 35, 30, 15]
+    assert TABLE1_RATES["mm"]["low"] == [28, 21, 14, 7, 7]
+    assert TABLE1_RATES["alexnet"]["high"] == [9, 9, 6, 6, 3]

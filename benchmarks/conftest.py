@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Benchmarks default to the shortened load windows (the full-length runs are
+available through ``python -m repro.experiments`` without REPRO_QUICK); the
+simulations themselves are deterministic, so one round is exact.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_QUICK", "1")

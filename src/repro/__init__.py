@@ -1,0 +1,36 @@
+"""BlastFunction (DATE 2020) — a full reproduction on a simulated testbed.
+
+An FPGA-as-a-Service system for accelerated serverless computing:
+time-shares FPGA boards among serverless functions through a transparent
+remote OpenCL runtime, with a cluster-wide registry allocating devices via
+runtime metrics.
+
+Package tour
+------------
+``repro.sim``
+    Deterministic discrete-event simulation kernel (the substrate).
+``repro.fpga`` / ``repro.kernels``
+    Board models (Arria 10, PCIe, DDR, bitstreams) and the accelerators
+    (Sobel, MM, PipeCNN/AlexNet, FIR, histogram) with functional NumPy
+    models plus latency models calibrated to the paper's Figure 4.
+``repro.ocl``
+    The OpenCL host object model and the native (vendor) driver.
+``repro.core``
+    The paper's contribution: Remote OpenCL Library, Device Manager,
+    Accelerators Registry.
+``repro.cluster`` / ``repro.serverless`` / ``repro.metrics`` /
+``repro.loadgen``
+    Kubernetes-, OpenFaaS-, Prometheus- and hey-model substrates.
+``repro.experiments``
+    One harness per table/figure of the paper (`python -m
+    repro.experiments all`).
+``repro.trace`` / ``repro.analysis``
+    Execution tracing (Chrome/Perfetto export), latency breakdowns and
+    queueing-theory validation.
+
+Quickstart: see ``examples/quickstart.py`` and ``README.md``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

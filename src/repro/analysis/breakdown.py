@@ -1,0 +1,116 @@
+"""Request latency decomposition from a trace.
+
+Splits each function's mean end-to-end latency into the stages the system
+architecture defines:
+
+* **queue wait** — time tasks sat in the Device Manager's central queue;
+* **device time** — FPGA occupancy (transfers + kernels) of the tasks;
+* **overhead** — everything else: gateway, host code, control round trips
+  and data-plane copies.
+
+Works from the spans recorded by :mod:`repro.trace.attach`
+(``attach_gateway`` + ``attach_manager``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..trace.tracer import Tracer
+
+#: Default pod-name → function-name mapping ("sobel-1-i2" → "sobel-1").
+_INSTANCE_SUFFIX = re.compile(r"-i\d+$")
+
+
+def default_pod_to_function(pod_name: str) -> str:
+    return _INSTANCE_SUFFIX.sub("", pod_name)
+
+
+@dataclass(frozen=True)
+class FunctionBreakdown:
+    """Mean per-request latency decomposition of one function."""
+
+    function: str
+    requests: int
+    mean_latency: float
+    mean_queue_wait: float
+    mean_device_time: float
+
+    @property
+    def mean_overhead(self) -> float:
+        """Latency not explained by queueing or device occupancy."""
+        return max(
+            0.0,
+            self.mean_latency - self.mean_queue_wait - self.mean_device_time,
+        )
+
+    def as_row(self) -> List:
+        return [
+            self.function, self.requests,
+            self.mean_latency * 1e3,
+            self.mean_queue_wait * 1e3,
+            self.mean_device_time * 1e3,
+            self.mean_overhead * 1e3,
+        ]
+
+
+def request_breakdown(
+    tracer: Tracer,
+    pod_to_function: Callable[[str], str] = default_pod_to_function,
+) -> Dict[str, FunctionBreakdown]:
+    """Aggregate request/task spans into per-function breakdowns."""
+    request_spans = tracer.by_category("request")
+    task_spans = tracer.by_category("task")
+
+    latencies: Dict[str, List[float]] = {}
+    for span in request_spans:
+        latencies.setdefault(span.name, []).append(
+            span.arg("latency", span.duration)
+        )
+
+    queue_waits: Dict[str, List[float]] = {}
+    device_times: Dict[str, List[float]] = {}
+    for span in task_spans:
+        client = span.arg("client", "")
+        function = pod_to_function(client)
+        queue_waits.setdefault(function, []).append(span.arg("queued", 0.0))
+        device_times.setdefault(function, []).append(span.duration)
+
+    breakdowns: Dict[str, FunctionBreakdown] = {}
+    for function, values in latencies.items():
+        n_requests = len(values)
+        waits = queue_waits.get(function, [])
+        devices = device_times.get(function, [])
+        # Tasks-per-request may exceed 1 (e.g. AlexNet layers): scale the
+        # per-task means by tasks/request so the stages sum per request.
+        tasks_per_request = (
+            len(devices) / n_requests if n_requests and devices else 0.0
+        )
+        breakdowns[function] = FunctionBreakdown(
+            function=function,
+            requests=n_requests,
+            mean_latency=sum(values) / n_requests,
+            mean_queue_wait=(
+                sum(waits) / len(waits) * tasks_per_request if waits else 0.0
+            ),
+            mean_device_time=(
+                sum(devices) / len(devices) * tasks_per_request
+                if devices else 0.0
+            ),
+        )
+    return breakdowns
+
+
+def render_breakdown(breakdowns: Dict[str, FunctionBreakdown]) -> str:
+    """Plain-text table of a breakdown (ms)."""
+    from ..experiments.report import render_table
+
+    rows = [breakdowns[name].as_row() for name in sorted(breakdowns)]
+    return render_table(
+        ["Function", "Requests", "Latency ms", "Queue ms", "Device ms",
+         "Overhead ms"],
+        rows,
+        title="Per-request latency breakdown",
+    )

@@ -1,0 +1,32 @@
+"""Kubernetes-model cluster orchestrator and the paper's 3-node testbed."""
+
+from .apiserver import AdmissionHook, Cluster, SchedulingError, Watcher
+from .autoscaler import AutoscalerPolicy, NodeAutoscaler
+from .objects import (
+    ClusterNode,
+    DeviceQuery,
+    Pod,
+    PodPhase,
+    PodSpec,
+    WatchEvent,
+    WatchEventType,
+)
+from .testbed import Testbed, build_testbed
+
+__all__ = [
+    "AdmissionHook",
+    "AutoscalerPolicy",
+    "NodeAutoscaler",
+    "Cluster",
+    "ClusterNode",
+    "DeviceQuery",
+    "Pod",
+    "PodPhase",
+    "PodSpec",
+    "SchedulingError",
+    "Testbed",
+    "WatchEvent",
+    "WatchEventType",
+    "Watcher",
+    "build_testbed",
+]

@@ -1,0 +1,6 @@
+"""BlastFunction's three components — the paper's contribution.
+
+* :mod:`repro.core.remote_lib` — the Remote OpenCL Library (client side);
+* :mod:`repro.core.device_manager` — one Device Manager per FPGA board;
+* :mod:`repro.core.registry` — the Accelerators Registry (cluster master).
+"""

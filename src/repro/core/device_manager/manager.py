@@ -1,0 +1,590 @@
+"""The Device Manager: time-sharing controller of one FPGA board.
+
+Implements Section III-B of the paper:
+
+* **per-client resource pools** (buffers, kernels) enforcing isolation;
+* **context and information methods** served synchronously; board
+  reconfiguration is the one blocking exception;
+* **command-queue methods** accumulated into per-(client, queue) *tasks*;
+  a flush submits the task to the central FIFO queue;
+* a **worker** that pulls tasks and executes them on the FPGA in FIFO
+  order, notifying the client's completion queue per operation;
+* Prometheus-style metrics (FPGA time utilization, per-client busy time,
+  task/op counters) for the Accelerators Registry's Metrics Gatherer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ...fpga.bitstream import Bitstream, BitstreamLibrary
+from ...fpga.board import FPGABoard
+from ...fpga.ddr import DeviceBuffer, OutOfMemoryError
+from ...metrics import MetricsRegistry
+from ...rpc import (
+    Message,
+    Network,
+    NetworkHost,
+    RpcEndpoint,
+    Transport,
+    reply,
+    reply_error,
+    send_to_client,
+)
+from ...sim import Environment, Event, Interrupt
+from . import protocol
+from .schedulers import TaskScheduler, make_scheduler
+from .tasks import Operation, OpType, Task, TaskAccumulator
+
+
+class ClientSession:
+    """Server-side state of one connected client (isolated resource pool)."""
+
+    def __init__(self, name: str, transport: Transport,
+                 completion_queue: RpcEndpoint):
+        self.name = name
+        self.transport = transport
+        self.completion_queue = completion_queue
+        self.buffers: Dict[int, DeviceBuffer] = {}
+        self.kernels: Dict[int, tuple[str, str]] = {}
+        self._next_kernel_id = 1
+        self.connected = True
+
+    def new_kernel_id(self) -> int:
+        kernel_id = self._next_kernel_id
+        self._next_kernel_id += 1
+        return kernel_id
+
+
+class DeviceManagerError(RuntimeError):
+    """Protocol/resource error raised while serving a client request."""
+
+
+class DeviceManager:
+    """One Device Manager, bound to one board on one node."""
+
+    #: Worker-side processing overhead per operation (dequeue, bookkeeping).
+    OP_OVERHEAD = 20e-6
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        board: FPGABoard,
+        library: BitstreamLibrary,
+        network: Network,
+        node: NetworkHost,
+        reconfiguration_validator: Optional[Callable[[str, str], bool]] = None,
+        batching: bool = True,
+        workers: Optional[int] = None,
+        scheduler: "str | TaskScheduler" = "fifo",
+    ):
+        self.env = env
+        self.name = name
+        self.board = board
+        self.library = library
+        self.network = network
+        self.node = node
+        self.endpoint = RpcEndpoint(env, name)
+        self.sessions: Dict[str, ClientSession] = {}
+        self.accumulator = TaskAccumulator()
+        #: Central task queue policy; the paper's system is FIFO.
+        self.scheduler: TaskScheduler = (
+            make_scheduler(scheduler, env)
+            if isinstance(scheduler, str) else scheduler
+        )
+        self._pending_writes: Dict[Any, Operation] = {}
+        #: Hook the Accelerators Registry installs to validate reconfiguration
+        #: requests (client, bitstream) → allowed.
+        self.reconfiguration_validator = reconfiguration_validator
+        #: Multi-operation task batching (the paper's design).  When off,
+        #: every command-queue call becomes its own single-op task — the
+        #: op-at-a-time baseline the batching ablation compares against.
+        self.batching = batching
+        #: Observers called with each Operation after it executes (used by
+        #: tests, tracing and the batching ablation).
+        self.op_listeners: list[Callable[[Operation], None]] = []
+        #: Observers called with each Task after it finishes.
+        self.task_listeners: list[Callable[[Task], None]] = []
+
+        self.metrics = MetricsRegistry(namespace="dm")
+        self._m_busy = self.metrics.counter(
+            "busy_seconds_total",
+            "Seconds the FPGA spent computing OpenCL calls",
+        )
+        self._m_client_busy = self.metrics.counter(
+            "client_busy_seconds_total",
+            "Per-client FPGA busy seconds",
+            labelnames=["client"],
+        )
+        self._m_ops = self.metrics.counter(
+            "ops_total", "Operations executed", labelnames=["type"]
+        )
+        self._m_tasks = self.metrics.counter("tasks_total", "Tasks executed")
+        self._m_clients = self.metrics.gauge(
+            "connected_clients", "Currently connected clients"
+        )
+        self._m_queue_depth = self.metrics.gauge(
+            "task_queue_depth", "Tasks waiting in the central queue"
+        )
+        self._m_task_latency = self.metrics.histogram(
+            "task_latency_seconds", "Submit-to-finish task latency"
+        )
+        self._m_reconfigurations = self.metrics.counter(
+            "reconfigurations_total", "Board reconfigurations performed"
+        )
+
+        self._serve_proc = env.process(self._serve())
+        # One worker per PR slot (space-sharing boards execute one task per
+        # slot concurrently); classic boards get the single FIFO worker.
+        worker_count = workers if workers is not None else board.slot_count
+        self._worker_procs = [
+            env.process(self._worker()) for _ in range(max(1, worker_count))
+        ]
+
+    # ------------------------------------------------------------------ API
+    @property
+    def connected_clients(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def configured_bitstream(self) -> Optional[str]:
+        return self.board.bitstream.name if self.board.bitstream else None
+
+    def stop(self) -> None:
+        """Shut the manager down (used in tests and migrations)."""
+        for process in (self._serve_proc, *self._worker_procs):
+            if process.is_alive:
+                process.interrupt("device manager stopped")
+
+    # ------------------------------------------------------------- dispatcher
+    def _serve(self):
+        """gRPC server loop: dispatch inbox messages by method group."""
+        try:
+            while True:
+                message: Message = yield self.endpoint.inbox.get()
+                handler = self._handlers().get(message.method)
+                if handler is None:
+                    if message.reply_to is not None:
+                        session = self._session_of(message)
+                        yield from reply_error(
+                            session.transport if session else
+                            message.payload.get("transport"),
+                            message,
+                            DeviceManagerError(
+                                f"unknown method {message.method!r}"
+                            ),
+                        )
+                    continue
+                yield from handler(message)
+        except Interrupt:
+            return
+
+    def _handlers(self):
+        return {
+            protocol.CONNECT: self._on_connect,
+            protocol.DISCONNECT: self._on_disconnect,
+            protocol.GET_PLATFORM_INFO: self._on_platform_info,
+            protocol.GET_DEVICE_INFO: self._on_device_info,
+            protocol.CREATE_BUFFER: self._on_create_buffer,
+            protocol.RELEASE_BUFFER: self._on_release_buffer,
+            protocol.BUILD_PROGRAM: self._on_build_program,
+            protocol.CREATE_KERNEL: self._on_create_kernel,
+            protocol.ENQUEUE_WRITE: self._on_enqueue,
+            protocol.ENQUEUE_READ: self._on_enqueue,
+            protocol.ENQUEUE_COPY: self._on_enqueue,
+            protocol.ENQUEUE_KERNEL: self._on_enqueue,
+            protocol.ENQUEUE_MARKER: self._on_enqueue,
+            protocol.WRITE_DATA: self._on_write_data,
+            protocol.FLUSH: self._on_flush,
+        }
+
+    def _session_of(self, message: Message) -> Optional[ClientSession]:
+        return self.sessions.get(message.sender)
+
+    def _require_session(self, message: Message) -> ClientSession:
+        session = self.sessions.get(message.sender)
+        if session is None:
+            raise DeviceManagerError(f"unknown client {message.sender!r}")
+        return session
+
+    # -- context and information methods (synchronous) -----------------------
+    def _on_connect(self, message: Message):
+        transport: Transport = message.payload["transport"]
+        completion_queue: RpcEndpoint = message.payload["completion_queue"]
+        session = ClientSession(message.sender, transport, completion_queue)
+        self.sessions[message.sender] = session
+        self._m_clients.set(len(self.sessions))
+        yield from reply(transport, message, {"session": message.sender})
+
+    def _on_disconnect(self, message: Message):
+        session = self._require_session(message)
+        for buffer in session.buffers.values():
+            if not buffer.freed:
+                self.board.free(buffer)
+        session.buffers.clear()
+        self.accumulator.flush_client(session.name)
+        session.connected = False
+        del self.sessions[session.name]
+        self._m_clients.set(len(self.sessions))
+        yield from reply(session.transport, message, {})
+
+    def _on_platform_info(self, message: Message):
+        session = self._require_session(message)
+        yield from reply(session.transport, message, {
+            "name": "BlastFunction Remote OpenCL",
+            "vendor": "Politecnico di Milano (reproduction)",
+            "version": "OpenCL 1.2",
+        })
+
+    def _on_device_info(self, message: Message):
+        session = self._require_session(message)
+        yield from reply(session.transport, message, {
+            "name": f"{self.board.spec.name} ({self.board.spec.fpga})",
+            "global_mem_size": self.board.spec.memory_bytes,
+            "bitstream": self.configured_bitstream,
+            "connected_clients": self.connected_clients,
+            "node": self.node.name,
+        })
+
+    def _on_create_buffer(self, message: Message):
+        session = self._require_session(message)
+        size = int(message.payload["size"])
+        try:
+            buffer = self.board.allocate(size)
+        except (OutOfMemoryError, ValueError) as exc:
+            yield from reply_error(session.transport, message, exc)
+            return
+        init_data = message.payload.get("data")
+        if init_data is not None and self.board.functional:
+            buffer.write(init_data)
+        session.buffers[buffer.id] = buffer
+        yield from reply(session.transport, message, {"buffer_id": buffer.id})
+
+    def _on_release_buffer(self, message: Message):
+        session = self._require_session(message)
+        buffer_id = int(message.payload["buffer_id"])
+        buffer = session.buffers.pop(buffer_id, None)
+        if buffer is None:
+            yield from reply_error(
+                session.transport, message,
+                DeviceManagerError(f"unknown buffer {buffer_id}"),
+            )
+            return
+        if not buffer.freed:
+            self.board.free(buffer)
+        yield from reply(session.transport, message, {})
+
+    def _on_build_program(self, message: Message):
+        """Reconfiguration: the one blocking context method (Section III-B)."""
+        session = self._require_session(message)
+        binary = message.payload["binary"]
+        try:
+            bitstream = self.library.get(binary)
+        except KeyError as exc:
+            yield from reply_error(session.transport, message, exc)
+            return
+        if any(slot is bitstream for slot in self.board.slots):
+            # Some slot already runs this image.
+            yield from reply(session.transport, message, {"binary": binary})
+            return
+        if self.board.slot_count > 1:
+            # Space-sharing board: partial-reconfigure a free slot (or the
+            # last slot as victim) without disturbing the others.
+            free = [i for i, slot in enumerate(self.board.slots)
+                    if slot is None]
+            slot = free[0] if free else self.board.slot_count - 1
+            yield from self.board.program_slot(slot, bitstream)
+            self._m_reconfigurations.inc()
+            yield from reply(session.transport, message, {
+                "binary": binary, "slot": slot,
+            })
+            return
+        validator = self.reconfiguration_validator
+        if validator is not None and not validator(session.name, binary):
+            yield from reply_error(
+                session.transport, message,
+                DeviceManagerError(
+                    f"reconfiguration to {binary!r} denied by registry"
+                ),
+            )
+            return
+        # Blocks this dispatcher (and the board) for the full
+        # reconfiguration time; device buffers are invalidated.
+        for other in self.sessions.values():
+            other.buffers.clear()
+        yield from self.board.program(bitstream)
+        self._m_reconfigurations.inc()
+        yield from reply(session.transport, message, {"binary": binary})
+
+    def _on_create_kernel(self, message: Message):
+        session = self._require_session(message)
+        binary = message.payload["binary"]
+        kernel_name = message.payload["name"]
+        try:
+            bitstream = self.library.get(binary)
+            kernel = bitstream.kernel(kernel_name)
+        except KeyError as exc:
+            yield from reply_error(session.transport, message, exc)
+            return
+        kernel_id = session.new_kernel_id()
+        session.kernels[kernel_id] = (binary, kernel_name)
+        yield from reply(session.transport, message, {
+            "kernel_id": kernel_id,
+            "arg_count": len(kernel.args),
+        })
+
+    # -- command-queue methods (streamed) --------------------------------------
+    def _on_enqueue(self, message: Message):
+        session = self._require_session(message)
+        payload = message.payload
+        op_type = {
+            protocol.ENQUEUE_WRITE: OpType.WRITE,
+            protocol.ENQUEUE_READ: OpType.READ,
+            protocol.ENQUEUE_COPY: OpType.COPY,
+            protocol.ENQUEUE_KERNEL: OpType.KERNEL,
+            protocol.ENQUEUE_MARKER: OpType.MARKER,
+        }[message.method]
+        operation = Operation(
+            type=op_type,
+            client=session.name,
+            queue_id=int(payload.get("queue", 0)),
+            tag=message.tag,
+            buffer_id=payload.get("buffer_id"),
+            dst_buffer_id=payload.get("dst_buffer_id"),
+            nbytes=int(payload.get("nbytes", 0)),
+            offset=int(payload.get("offset", 0)),
+            dst_offset=int(payload.get("dst_offset", 0)),
+            kernel_id=payload.get("kernel_id"),
+            kernel_args=payload.get("args"),
+        )
+        if operation.needs_data():
+            operation.data_ready = Event(self.env)
+            self._pending_writes[operation.tag] = operation
+        self.accumulator.add(operation)
+        if not self.batching:
+            # Ablation baseline: submit each operation as its own task.
+            task = self.accumulator.flush(session.name, operation.queue_id)
+            self._submit(task)
+        # FIRST step of the client's event state machine: op is enqueued.
+        self.env.process(
+            send_to_client(
+                session.transport, session.completion_queue,
+                Message(method=protocol.OP_ENQUEUED, tag=operation.tag,
+                        sender=self.name),
+            )
+        )
+        return
+        yield  # pragma: no cover - marks this handler as a generator
+
+    def _on_write_data(self, message: Message):
+        operation = self._pending_writes.pop(message.tag, None)
+        if operation is None:
+            raise DeviceManagerError(
+                f"write data for unknown tag {message.tag!r}"
+            )
+        operation.data = message.payload.get("data")
+        assert operation.data_ready is not None
+        operation.data_ready.succeed()
+        return
+        yield  # pragma: no cover - marks this handler as a generator
+
+    def _on_flush(self, message: Message):
+        session = self._require_session(message)
+        queue_id = int(message.payload.get("queue", 0))
+        task = self.accumulator.flush(session.name, queue_id)
+        self._submit(task)
+        return
+        yield  # pragma: no cover - marks this handler as a generator
+
+    def _submit(self, task: Optional[Task]) -> None:
+        """Place a closed task on the central queue."""
+        if task is None or task.empty:
+            return
+        task.submitted_at = self.env.now
+        self.scheduler.push(task, self._estimate_task(task))
+        self._m_queue_depth.set(len(self.scheduler))
+
+    def _estimate_task(self, task: Task) -> float:
+        """Estimated device time of a task (for SJF/WFQ scheduling).
+
+        Uses the same latency models the board executes with; falls back
+        to a nominal value when a referenced resource is not resolvable
+        yet (e.g. a buffer still being created).
+        """
+        session = self.sessions.get(task.client)
+        total = 0.0
+        for operation in task.operations:
+            if operation.type in (OpType.WRITE, OpType.READ):
+                total += self.board.link.spec.transfer_time(operation.nbytes)
+            elif operation.type is OpType.COPY:
+                total += operation.nbytes / self.board.DDR_COPY_BANDWIDTH
+            elif operation.type is OpType.KERNEL and session is not None:
+                try:
+                    binary, kernel_name = session.kernels[
+                        int(operation.kernel_id)
+                    ]
+                    kernel = self.library.get(binary).kernel(kernel_name)
+                    resolved = []
+                    for kind, value in operation.kernel_args or []:
+                        if kind == protocol.ARG_BUFFER:
+                            resolved.append(self._buffer(session, value))
+                        else:
+                            resolved.append(value)
+                    total += kernel.duration(kernel.resolve_args(resolved))
+                except Exception:  # noqa: BLE001 - estimation only
+                    total += 1e-3
+        return total
+
+    # ----------------------------------------------------------------- worker
+    def _worker(self):
+        """Pull tasks from the central queue, execute them FIFO on the FPGA."""
+        try:
+            while True:
+                task: Task = yield self.scheduler.pop()
+                self._m_queue_depth.set(len(self.scheduler))
+                task.started_at = self.env.now
+                for index, operation in enumerate(task.operations):
+                    ok = yield from self._run_operation(operation)
+                    if not ok:
+                        # Tasks are atomic: once an operation fails, the
+                        # remainder would run against inconsistent state —
+                        # abort the rest and notify each waiter.
+                        self._abort_remaining(task.operations[index + 1:])
+                        break
+                task.finished_at = self.env.now
+                self._m_tasks.inc()
+                if task.submitted_at is not None:
+                    self._m_task_latency.observe(
+                        task.finished_at - task.submitted_at
+                    )
+                for listener in self.task_listeners:
+                    listener(task)
+        except Interrupt:
+            return
+
+    def _abort_remaining(self, operations) -> None:
+        """Fail every not-yet-run operation of an aborted task."""
+        for operation in operations:
+            session = self.sessions.get(operation.client)
+            if session is None:
+                continue
+            self._notify(session, Message(
+                method=protocol.OP_FAILED, tag=operation.tag,
+                payload={"error": "task aborted after an earlier operation "
+                                  "failed"},
+                sender=self.name,
+            ))
+
+    def _run_operation(self, operation: Operation):
+        """Process: execute one op; returns True on success."""
+        session = self.sessions.get(operation.client)
+        if session is None:
+            return False  # client disconnected while the task was queued
+        if operation.needs_data() and operation.data_ready is not None:
+            if not operation.data_ready.triggered:
+                yield operation.data_ready
+        yield self.env.timeout(self.OP_OVERHEAD)
+        started = self.env.now
+        operation.started_at = started
+        try:
+            result = yield from self._execute(session, operation)
+        except Exception as exc:  # noqa: BLE001 - converted to notification
+            self._notify(session, Message(
+                method=protocol.OP_FAILED, tag=operation.tag,
+                payload={"error": str(exc)}, sender=self.name,
+            ))
+            return False
+        operation.finished_at = self.env.now
+        busy = self.env.now - started
+        self._m_busy.inc(busy)
+        self._m_client_busy.labels(operation.client).inc(busy)
+        self._m_ops.labels(operation.type.value).inc()
+        for listener in self.op_listeners:
+            listener(operation)
+        if operation.type is OpType.READ:
+            # COMPLETE step carries the data: pay the data-plane transfer
+            # back to the client, then notify.
+            self.env.process(self._send_read_result(
+                session, operation, result
+            ))
+        else:
+            self._notify(session, Message(
+                method=protocol.OP_COMPLETE, tag=operation.tag,
+                sender=self.name,
+            ))
+        return True
+
+    def _send_read_result(self, session: ClientSession,
+                          operation: Operation, data):
+        yield from session.transport.data_to_client(operation.nbytes)
+        self._notify(session, Message(
+            method=protocol.OP_COMPLETE, tag=operation.tag,
+            payload={"data": data}, sender=self.name,
+        ))
+
+    def _notify(self, session: ClientSession, message: Message) -> None:
+        """Asynchronously push a notification to the client."""
+        self.env.process(
+            send_to_client(session.transport, session.completion_queue,
+                           message)
+        )
+
+    def _execute(self, session: ClientSession, operation: Operation):
+        """Process: perform one operation on the board."""
+        if operation.type is OpType.MARKER:
+            return None
+        if operation.type is OpType.WRITE:
+            buffer = self._buffer(session, operation.buffer_id)
+            yield from self.board.dma_write(
+                buffer, operation.nbytes, operation.data, operation.offset
+            )
+            return None
+        if operation.type is OpType.READ:
+            buffer = self._buffer(session, operation.buffer_id)
+            data = yield from self.board.dma_read(
+                buffer, operation.nbytes, operation.offset
+            )
+            return data
+        if operation.type is OpType.COPY:
+            src = self._buffer(session, operation.buffer_id)
+            dst = self._buffer(session, operation.dst_buffer_id)
+            yield from self.board.copy_on_device(
+                src, dst, operation.nbytes, operation.offset,
+                operation.dst_offset,
+            )
+            return None
+        if operation.type is OpType.KERNEL:
+            binary, kernel_name = self._kernel(session, operation.kernel_id)
+            live = [slot.name for slot in self.board.slots
+                    if slot is not None]
+            if binary not in live:
+                raise DeviceManagerError(
+                    f"kernel {kernel_name!r} needs bitstream {binary!r}, "
+                    f"board has {live or [self.configured_bitstream]!r}"
+                )
+            resolved = []
+            for kind, value in operation.kernel_args or []:
+                if kind == protocol.ARG_BUFFER:
+                    resolved.append(self._buffer(session, value))
+                else:
+                    resolved.append(value)
+            yield from self.board.execute(kernel_name, resolved)
+            return None
+        raise DeviceManagerError(f"unsupported operation {operation.type}")
+
+    def _buffer(self, session: ClientSession, buffer_id) -> DeviceBuffer:
+        try:
+            return session.buffers[int(buffer_id)]
+        except (KeyError, TypeError) as exc:
+            raise DeviceManagerError(
+                f"client {session.name!r} has no buffer {buffer_id!r}"
+            ) from exc
+
+    def _kernel(self, session: ClientSession, kernel_id):
+        try:
+            return session.kernels[int(kernel_id)]
+        except (KeyError, TypeError) as exc:
+            raise DeviceManagerError(
+                f"client {session.name!r} has no kernel {kernel_id!r}"
+            ) from exc

@@ -1,0 +1,193 @@
+"""Task schedulers for the Device Manager's central queue.
+
+The paper's Device Manager executes tasks "in a First-In-First-Out order";
+that remains the default.  Because the central queue is the single point
+where time sharing happens, it is also the natural place to experiment with
+SLA-aware policies — the paper itself notes that "the metrics priority can
+be chosen depending on the system and applications SLA".  This module
+provides the FIFO baseline and three alternatives used by the scheduling
+ablation:
+
+* :class:`PriorityScheduler` — strict client priority classes;
+* :class:`SJFScheduler` — shortest (estimated) task first, non-preemptive;
+* :class:`WFQScheduler` — weighted fair queueing over clients via
+  start-time virtual clocks.
+
+Estimated task durations come from the same kernel latency models the
+board uses, so SJF/WFQ are realizable policies, not oracles.
+"""
+
+from __future__ import annotations
+
+import abc
+from itertools import count
+from typing import Dict, Optional
+
+from ...sim import Environment, PriorityItem, PriorityStore, Store
+from .tasks import Task
+
+
+class TaskScheduler(abc.ABC):
+    """Order in which queued tasks reach the FPGA."""
+
+    name = "abstract"
+
+    def __init__(self, env: Environment):
+        self.env = env
+
+    @abc.abstractmethod
+    def push(self, task: Task, estimate: float) -> None:
+        """Enqueue a task with its estimated device time (seconds)."""
+
+    @abc.abstractmethod
+    def pop(self):
+        """Simulation event yielding the next task to execute."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Tasks currently waiting."""
+
+    def set_client_weight(self, client: str, weight: float) -> None:
+        """SLA hint (ignored by weight-agnostic policies)."""
+
+
+class FIFOScheduler(TaskScheduler):
+    """The paper's policy: strict arrival order."""
+
+    name = "fifo"
+
+    def __init__(self, env: Environment):
+        super().__init__(env)
+        self._queue = Store(env)
+
+    def push(self, task: Task, estimate: float) -> None:
+        self._queue.put(task)
+
+    def pop(self):
+        return self._queue.get()
+
+    def __len__(self) -> int:
+        return len(self._queue.items)
+
+
+class PriorityScheduler(TaskScheduler):
+    """Strict priority classes per client (lower value = served first)."""
+
+    name = "priority"
+
+    def __init__(self, env: Environment, default_priority: int = 10):
+        super().__init__(env)
+        self._queue = PriorityStore(env)
+        self._priorities: Dict[str, int] = {}
+        self.default_priority = default_priority
+
+    def set_client_priority(self, client: str, priority: int) -> None:
+        self._priorities[client] = priority
+
+    def set_client_weight(self, client: str, weight: float) -> None:
+        # Higher weight → better (lower) priority value.
+        self.set_client_priority(client, int(100 / max(weight, 1e-6)))
+
+    def push(self, task: Task, estimate: float) -> None:
+        priority = self._priorities.get(task.client, self.default_priority)
+        self._queue.put(PriorityItem(priority, task))
+
+    def pop(self):
+        event = self._queue.get()
+        return _unwrap(self.env, event)
+
+    def __len__(self) -> int:
+        return len(self._queue.items)
+
+
+class SJFScheduler(TaskScheduler):
+    """Non-preemptive shortest-estimated-job-first."""
+
+    name = "sjf"
+
+    def __init__(self, env: Environment):
+        super().__init__(env)
+        self._queue = PriorityStore(env)
+
+    def push(self, task: Task, estimate: float) -> None:
+        self._queue.put(PriorityItem(estimate, task))
+
+    def pop(self):
+        return _unwrap(self.env, self._queue.get())
+
+    def __len__(self) -> int:
+        return len(self._queue.items)
+
+
+class WFQScheduler(TaskScheduler):
+    """Weighted fair queueing (start-time fair queuing approximation).
+
+    Each client accrues virtual time proportional to consumed device time
+    divided by its weight; the task with the smallest virtual start tag
+    runs next, giving long-term device shares proportional to weights
+    without starving anyone.
+    """
+
+    name = "wfq"
+
+    def __init__(self, env: Environment):
+        super().__init__(env)
+        self._queue = PriorityStore(env)
+        self._weights: Dict[str, float] = {}
+        self._virtual_finish: Dict[str, float] = {}
+        self._virtual_now = 0.0
+
+    def set_client_weight(self, client: str, weight: float) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._weights[client] = weight
+
+    def push(self, task: Task, estimate: float) -> None:
+        weight = self._weights.get(task.client, 1.0)
+        start_tag = max(self._virtual_now,
+                        self._virtual_finish.get(task.client, 0.0))
+        finish_tag = start_tag + estimate / weight
+        self._virtual_finish[task.client] = finish_tag
+        self._queue.put(PriorityItem(start_tag, task))
+
+    def pop(self):
+        event = self._queue.get()
+
+        def advance(env):
+            item = yield event
+            self._virtual_now = max(self._virtual_now, item.priority)
+            return item.item
+
+        return self.env.process(advance(self.env))
+
+    def __len__(self) -> int:
+        return len(self._queue.items)
+
+
+def _unwrap(env: Environment, event):
+    """Adapt a PriorityStore get (yielding PriorityItem) to yield the task."""
+
+    def runner(env):
+        item = yield event
+        return item.item
+
+    return env.process(runner(env))
+
+
+_SCHEDULERS = {
+    "fifo": FIFOScheduler,
+    "priority": PriorityScheduler,
+    "sjf": SJFScheduler,
+    "wfq": WFQScheduler,
+}
+
+
+def make_scheduler(name: str, env: Environment) -> TaskScheduler:
+    """Build a scheduler by policy name."""
+    try:
+        factory = _SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r} (have {sorted(_SCHEDULERS)})"
+        ) from None
+    return factory(env)

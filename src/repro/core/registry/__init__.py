@@ -1,0 +1,44 @@
+"""The Accelerators Registry (BlastFunction's cluster master)."""
+
+from .allocation import (
+    AllocationDecision,
+    AllocationError,
+    DeviceView,
+    MetricFilter,
+    allocate,
+    filterby_compatibility,
+    filterby_metrics,
+    not_compatible,
+    orderby_metrics_and_acc,
+    redistribution_plan,
+)
+from .gatherer import MetricsGatherer
+from .registry import MANAGER_ENV, AcceleratorsRegistry
+from .services import (
+    DeviceRecord,
+    DevicesService,
+    FunctionRecord,
+    FunctionsService,
+    InstanceRecord,
+)
+
+__all__ = [
+    "AcceleratorsRegistry",
+    "AllocationDecision",
+    "AllocationError",
+    "DeviceRecord",
+    "DevicesService",
+    "DeviceView",
+    "FunctionRecord",
+    "FunctionsService",
+    "InstanceRecord",
+    "MANAGER_ENV",
+    "MetricFilter",
+    "MetricsGatherer",
+    "allocate",
+    "filterby_compatibility",
+    "filterby_metrics",
+    "not_compatible",
+    "orderby_metrics_and_acc",
+    "redistribution_plan",
+]

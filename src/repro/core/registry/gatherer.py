@@ -1,0 +1,71 @@
+"""Metrics Gatherer: runtime metrics for allocation decisions.
+
+"Data collected through the Device and Functions Services are integrated by
+the Metrics Gatherer, which receives Device Managers performance metrics
+from a Prometheus service.  Data like the FPGA time utilization (defined as
+the time spent by the device computing OpenCL calls in a given amount of
+time) are used to improve allocation of functions."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ...metrics import Scraper
+
+
+class MetricsGatherer:
+    """Query layer over the Prometheus scrape database."""
+
+    def __init__(self, scraper: Scraper, window: float = 10.0):
+        self.scraper = scraper
+        self.window = window
+
+    # -- device-level metrics ------------------------------------------------
+    def utilization(self, device: str) -> float:
+        """FPGA time utilization of a device over the trailing window.
+
+        0.0 when no samples exist yet (a fresh device counts as idle).
+        """
+        series = self.scraper.database.select_matching(
+            "dm_busy_seconds_total", instance=device
+        )
+        if not series:
+            return 0.0
+        rate = series[0].rate(self.window, now=self.scraper.env.now)
+        return 0.0 if math.isnan(rate) else max(rate, 0.0)
+
+    def function_utilization(self, device: str, client: str) -> float:
+        """Per-function share of a device's busy time (Table II's Util.)."""
+        series = self.scraper.database.select_matching(
+            "dm_client_busy_seconds_total", instance=device, client=client
+        )
+        if not series:
+            return 0.0
+        rate = series[0].rate(self.window, now=self.scraper.env.now)
+        return 0.0 if math.isnan(rate) else max(rate, 0.0)
+
+    def connected_functions(self, device: str) -> int:
+        series = self.scraper.database.select_matching(
+            "dm_connected_clients", instance=device
+        )
+        if not series or series[0].latest() is None:
+            return 0
+        return int(series[0].latest())
+
+    def queue_depth(self, device: str) -> float:
+        series = self.scraper.database.select_matching(
+            "dm_task_queue_depth", instance=device
+        )
+        if not series or series[0].latest() is None:
+            return 0.0
+        return float(series[0].latest())
+
+    def device_metrics(self, device: str) -> Dict[str, float]:
+        """All allocation-relevant metrics for one device."""
+        return {
+            "utilization": self.utilization(device),
+            "connected_functions": float(self.connected_functions(device)),
+            "queue_depth": self.queue_depth(device),
+        }

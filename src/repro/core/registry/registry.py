@@ -1,0 +1,228 @@
+"""The Accelerators Registry: the master component of BlastFunction.
+
+"It registers functions and devices, it aggregates performance metrics, it
+allocates devices to functions and it validates reconfiguration operations"
+(Section III-C).  Concretely:
+
+* an **admission hook** on the cluster intercepts pod creation, runs
+  Algorithm 1, and patches the pod (Device Manager address env var,
+  shared-memory volume, forced node placement);
+* a **watch** on the cluster keeps the Functions Service in sync with
+  deletions;
+* a **reconfiguration validator** installed into every Device Manager
+  approves/rejects ``BuildProgram`` requests that would reprogram a board;
+* when an allocation requires reconfiguration of a busy device, connected
+  instances of other accelerators are **migrated** — the cluster deletes
+  their pods and (create-before-delete) replacements land elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ...cluster.apiserver import Cluster
+from ...cluster.objects import (
+    DeviceQuery,
+    Pod,
+    PodSpec,
+    WatchEvent,
+    WatchEventType,
+)
+from ...metrics import Scraper
+from ...sim import Environment
+from ..device_manager.manager import DeviceManager
+from .allocation import (
+    AllocationDecision,
+    AllocationError,
+    DeviceView,
+    MetricFilter,
+    allocate,
+)
+from .gatherer import MetricsGatherer
+from .services import DevicesService, FunctionsService, InstanceRecord
+
+#: Pod environment variable carrying the allocated Device Manager address.
+MANAGER_ENV = "BF_MANAGER"
+
+#: Migration callback: (instance_name, function_name) -> process generator.
+Migrator = Callable[[str, str], object]
+
+
+class AcceleratorsRegistry:
+    """Central controller wiring cluster, devices, functions and metrics."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        managers: Sequence[DeviceManager],
+        scraper: Optional[Scraper] = None,
+        metrics_order: Sequence[str] = ("connected_functions", "utilization"),
+        metrics_filters: Sequence[MetricFilter] = (),
+        metrics_window: float = 10.0,
+        use_shm: bool = True,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.devices = DevicesService()
+        self.functions = FunctionsService()
+        self.metrics_order = tuple(metrics_order)
+        self.metrics_filters = tuple(metrics_filters)
+        self.gatherer = (
+            MetricsGatherer(scraper, metrics_window) if scraper else None
+        )
+        #: Mount shared-memory volumes into allocated pods (the paper's
+        #: default; disable for the transport ablation).
+        self.use_shm = use_shm
+        #: Set by the serverless layer to perform create-before-delete moves.
+        self.migrator: Optional[Migrator] = None
+        self.allocations = 0
+        self.migrations = 0
+
+        for manager in managers:
+            self.register_manager(manager)
+
+        cluster.add_admission_hook(self._admit)
+        cluster.watch(self._on_watch)
+
+    def register_manager(self, manager: DeviceManager) -> None:
+        """Add a Device Manager to the Devices Service (autoscaled nodes)."""
+        self.devices.register(manager)
+        manager.reconfiguration_validator = self._validate_reconfiguration
+        if self.gatherer is not None:
+            self.gatherer.scraper.add_target(
+                manager.name, manager.metrics, node=manager.node.name
+            )
+
+    def deregister_manager(self, manager_name: str) -> bool:
+        """Forget a retired device; refuses while instances are allocated."""
+        try:
+            record = self.devices.get(manager_name)
+        except KeyError:
+            return False
+        if record.instances:
+            return False
+        self.devices.remove(manager_name)
+        if self.gatherer is not None:
+            self.gatherer.scraper.remove_target(manager_name)
+        return True
+
+    # -- public API ----------------------------------------------------------
+    def register_function(self, name: str, query: DeviceQuery) -> None:
+        """Pre-register a function's device requirements."""
+        self.functions.register(name, query)
+
+    def device_views(self) -> List[DeviceView]:
+        """Snapshot the Devices Service + Metrics Gatherer for Algorithm 1."""
+        views = []
+        for record in self.devices.all():
+            metrics = (
+                self.gatherer.device_metrics(record.name)
+                if self.gatherer
+                else {}
+            )
+            # The Registry's own Functions Service is authoritative (and
+            # fresher than the last scrape) for connected-function counts.
+            metrics["connected_functions"] = float(len(record.instances))
+            workloads = tuple(
+                (inst.name, self.functions.get(inst.function)
+                 .device_query.accelerator)
+                for inst in self.functions.instances_on_device(record.name)
+            )
+            views.append(DeviceView(
+                name=record.name,
+                node=record.node,
+                vendor=record.vendor,
+                platform=record.platform,
+                bitstream=record.effective_bitstream,
+                available_bitstreams=record.manager.library.names(),
+                metrics=metrics,
+                workloads=workloads,
+            ))
+        return views
+
+    # -- admission (allocation) -------------------------------------------------
+    def _admit(self, spec: PodSpec) -> None:
+        """Mutating admission: run Algorithm 1 and patch the pod spec."""
+        function = self.functions.register(spec.function, spec.device_query)
+        query = function.device_query
+        decision = allocate(
+            query,
+            spec.node_name,
+            self.device_views(),
+            self.metrics_order,
+            self.metrics_filters,
+        )
+        self.allocations += 1
+
+        record = self.devices.get(decision.device.name)
+        spec.env[MANAGER_ENV] = record.name
+        spec.shm_volume = self.use_shm
+        if not spec.node_name:
+            spec.node_name = decision.node
+
+        record.instances.add(spec.name)
+        self.functions.add_instance(spec.function, InstanceRecord(
+            name=spec.name, function=spec.function,
+            node=spec.node_name, device=record.name,
+        ))
+
+        if decision.needs_reconfiguration:
+            record.pending_bitstream = query.accelerator
+            if decision.redistribution:
+                self._migrate(decision.redistribution)
+
+    def _migrate(self, moves: List) -> None:
+        """Kick off create-before-delete migrations of displaced instances."""
+        for instance_name, _target in moves:
+            instance = self.functions.instance(instance_name)
+            if instance is None:
+                continue
+            self.migrations += 1
+            if self.migrator is not None:
+                self.env.process(
+                    self.migrator(instance_name, instance.function)
+                )
+            else:
+                # No serverless controller attached: plain delete; the
+                # deployment layer (if any) recreates.
+                self.cluster.delete_pod(instance_name)
+
+    # -- watch ------------------------------------------------------------------
+    def _on_watch(self, event: WatchEvent) -> None:
+        if event.type is WatchEventType.DELETED:
+            pod = event.pod
+            instance = self.functions.remove_instance(
+                pod.spec.function, pod.name
+            )
+            if instance and instance.device:
+                try:
+                    self.devices.get(instance.device).instances.discard(
+                        pod.name
+                    )
+                except KeyError:
+                    pass
+
+    # -- reconfiguration validation ------------------------------------------------
+    def _validate_reconfiguration(self, client: str, binary: str) -> bool:
+        """Approve a Device Manager ``BuildProgram`` that reprograms.
+
+        The requesting instance must be allocated to that device, the
+        binary must match its declared accelerator, and no *other* instance
+        on the device may need a different accelerator (those should have
+        been migrated at allocation time).
+        """
+        instance = self.functions.instance(client)
+        if instance is None or not instance.device:
+            return False
+        record = self.devices.get(instance.device)
+        query = self.functions.get(instance.function).device_query
+        if query.accelerator and query.accelerator != binary:
+            return False
+        for other in self.functions.instances_on_device(record.name):
+            if other.name == client:
+                continue
+            other_acc = self.functions.get(other.function).device_query.accelerator
+            if other_acc and other_acc != binary:
+                return False
+        return True

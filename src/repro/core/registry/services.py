@@ -1,0 +1,152 @@
+"""Devices Service and Functions Service (Section III-C).
+
+"The Devices Service collects and manages information about the devices
+(e.g. platform, configured bitstream and connected instances).  The
+Functions Service contains data about the serverless functions (e.g.
+identifier, location, device, created instances)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ...cluster.objects import DeviceQuery
+from ..device_manager.manager import DeviceManager
+
+
+@dataclass
+class DeviceRecord:
+    """Registry-side view of one Device Manager / board."""
+
+    name: str                       # device manager name, e.g. "dm-B"
+    node: str
+    vendor: str
+    platform: str
+    manager: DeviceManager
+    #: Bitstream a pending allocation will program (clears once applied).
+    pending_bitstream: Optional[str] = None
+    #: Instance names currently allocated to this device.
+    instances: Set[str] = field(default_factory=set)
+
+    @property
+    def configured_bitstream(self) -> Optional[str]:
+        return self.manager.configured_bitstream
+
+    @property
+    def effective_bitstream(self) -> Optional[str]:
+        """What the device will run once pending work lands."""
+        if self.pending_bitstream is not None:
+            if self.configured_bitstream == self.pending_bitstream:
+                # The reconfiguration happened; forget the pending marker.
+                self.pending_bitstream = None
+                return self.configured_bitstream
+            return self.pending_bitstream
+        return self.configured_bitstream
+
+
+class DevicesService:
+    """Inventory of the cluster's accelerator devices."""
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, DeviceRecord] = {}
+
+    def register(self, manager: DeviceManager) -> DeviceRecord:
+        info = manager.library  # vendor/platform come from the bitstreams
+        # All bitstreams in the standard library share vendor/platform.
+        sample = info.get(info.names()[0]) if len(info) else None
+        record = DeviceRecord(
+            name=manager.name,
+            node=manager.node.name,
+            vendor=sample.vendor if sample else "",
+            platform=sample.platform if sample else "",
+            manager=manager,
+        )
+        self._devices[record.name] = record
+        return record
+
+    def get(self, name: str) -> DeviceRecord:
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise KeyError(f"unknown device {name!r}") from None
+
+    def remove(self, name: str) -> Optional[DeviceRecord]:
+        """Forget a device (node retired by the autoscaler)."""
+        return self._devices.pop(name, None)
+
+    def all(self) -> List[DeviceRecord]:
+        return sorted(self._devices.values(), key=lambda d: d.name)
+
+    def on_node(self, node: str) -> List[DeviceRecord]:
+        return [d for d in self.all() if d.node == node]
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+
+@dataclass
+class InstanceRecord:
+    """One function instance (pod) and its allocation."""
+
+    name: str
+    function: str
+    node: str = ""
+    device: str = ""
+
+
+@dataclass
+class FunctionRecord:
+    """One registered serverless function."""
+
+    name: str
+    device_query: DeviceQuery
+    instances: Dict[str, InstanceRecord] = field(default_factory=dict)
+
+
+class FunctionsService:
+    """Inventory of registered functions and their instances."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, FunctionRecord] = {}
+
+    def register(self, name: str, device_query: DeviceQuery) -> FunctionRecord:
+        record = self._functions.get(name)
+        if record is None:
+            record = FunctionRecord(name, device_query)
+            self._functions[name] = record
+        return record
+
+    def get(self, name: str) -> FunctionRecord:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"unknown function {name!r}") from None
+
+    def add_instance(self, function: str, instance: InstanceRecord) -> None:
+        self.get(function).instances[instance.name] = instance
+
+    def remove_instance(self, function: str, instance_name: str
+                        ) -> Optional[InstanceRecord]:
+        record = self._functions.get(function)
+        if record is None:
+            return None
+        return record.instances.pop(instance_name, None)
+
+    def instance(self, instance_name: str) -> Optional[InstanceRecord]:
+        for record in self._functions.values():
+            found = record.instances.get(instance_name)
+            if found is not None:
+                return found
+        return None
+
+    def all(self) -> List[FunctionRecord]:
+        return sorted(self._functions.values(), key=lambda f: f.name)
+
+    def instances_on_device(self, device: str) -> List[InstanceRecord]:
+        return [
+            inst
+            for record in self._functions.values()
+            for inst in record.instances.values()
+            if inst.device == device
+        ]

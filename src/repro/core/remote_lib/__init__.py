@@ -1,0 +1,23 @@
+"""The Remote OpenCL Library (client side of BlastFunction).
+
+A drop-in replacement for the vendor OpenCL runtime: a router discovers
+Device Managers, a connection per manager carries a tagged call stream and a
+completion queue, and per-call event state machines (INIT → FIRST → BUFFER →
+COMPLETE) drive standard OpenCL event semantics.
+"""
+
+from .connection import Connection
+from .driver import RemoteDriver, RemoteHandle
+from .events import FsmState, RemoteEventMachine
+from .router import ManagerAddress, PlatformRouter, remote_platform
+
+__all__ = [
+    "Connection",
+    "FsmState",
+    "ManagerAddress",
+    "PlatformRouter",
+    "RemoteDriver",
+    "RemoteEventMachine",
+    "RemoteHandle",
+    "remote_platform",
+]

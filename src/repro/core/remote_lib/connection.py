@@ -1,0 +1,219 @@
+"""Client↔Device-Manager connection: stream, completion queue, dispatcher.
+
+Mirrors Figure 2 of the paper:
+
+* an ordered **outbound stream** carries command-queue calls (and write
+  payloads) to the manager — the sender process pays the transport costs,
+  so per-call control latency and data-plane copies land on the simulated
+  clock exactly once, in order;
+* a **completion queue** receives the manager's asynchronous notifications;
+* the **connection thread** (dispatcher process) pulls notifications,
+  retrieves the event state machine by tag and advances it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ...rpc import (
+    Message,
+    Network,
+    NetworkHost,
+    RpcEndpoint,
+    Transport,
+    make_transport,
+    unary_call,
+)
+from ...sim import Environment, Event, Interrupt, Store
+from ..device_manager import protocol
+from .events import RemoteEventMachine
+
+
+@dataclass
+class _StreamItem:
+    """One outbound stream element."""
+
+    message: Message
+    data_nbytes: int = 0
+    #: Gates: events to wait for before transmitting (e.g. buffer handles
+    #: still being created server-side, or cross-queue wait lists).
+    gates: tuple = ()
+    #: Late payload binding: called just before transmission so remote ids
+    #: resolved by the gates can be filled in.
+    finalize: Optional[Any] = None
+
+
+class Connection:
+    """One client's connection to one Device Manager."""
+
+    def __init__(
+        self,
+        env: Environment,
+        client_name: str,
+        network: Network,
+        client_host: NetworkHost,
+        manager_endpoint: RpcEndpoint,
+        manager_host: NetworkHost,
+        prefer_shm: bool = True,
+    ):
+        self.env = env
+        self.client_name = client_name
+        self.network = network
+        self.manager_endpoint = manager_endpoint
+        self.transport: Transport = make_transport(
+            env, network, client_host, manager_host, prefer_shm=prefer_shm
+        )
+        self.completion_queue = RpcEndpoint(
+            env, f"{client_name}/completions"
+        )
+        self._machines: Dict[Any, RemoteEventMachine] = {}
+        self._outbound: Store = Store(env)
+        self._sender_proc = env.process(self._sender())
+        self._dispatcher_proc = env.process(self._dispatcher())
+        self.connected = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def connect(self):
+        """Process: register this client with the Device Manager."""
+        yield from self.call(protocol.CONNECT, {
+            "transport": self.transport,
+            "completion_queue": self.completion_queue,
+        })
+        self.connected = True
+        return self
+
+    def disconnect(self):
+        """Process: tear down the session server-side and stop workers."""
+        if self.connected:
+            yield from self.call(protocol.DISCONNECT, {})
+            self.connected = False
+        self.close()
+
+    def close(self) -> None:
+        for process in (self._sender_proc, self._dispatcher_proc):
+            if process.is_alive:
+                process.interrupt("connection closed")
+
+    # -- unary (context and information) calls ----------------------------------
+    def call(self, method: str, payload: dict):
+        """Process: synchronous unary call to the manager."""
+        result = yield from unary_call(
+            self.transport, self.manager_endpoint, method, payload,
+            sender=self.client_name,
+        )
+        return result
+
+    def call_async(self, method: str, payload: dict) -> Event:
+        """Issue a unary call in the background; returns an event with the
+        result (used for eager resource creation, see the remote driver)."""
+        done = Event(self.env)
+
+        def runner():
+            try:
+                result = yield from self.call(method, payload)
+            except Exception as exc:  # noqa: BLE001 - forwarded to waiter
+                done.fail(exc)
+                done.defused = True
+            else:
+                done.succeed(result)
+
+        self.env.process(runner())
+        return done
+
+    # -- streamed command-queue calls ---------------------------------------
+    def register_machine(self, machine: RemoteEventMachine) -> None:
+        self._machines[machine.tag] = machine
+
+    def forget(self, tag: Any) -> None:
+        self._machines.pop(tag, None)
+
+    def machine(self, tag: Any) -> Optional[RemoteEventMachine]:
+        return self._machines.get(tag)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._machines)
+
+    def stream_send(self, method: str, payload: dict, tag: Any = None) -> None:
+        """Queue a control message on the ordered outbound stream."""
+        message = Message(method=method, payload=payload,
+                          sender=self.client_name, tag=tag)
+        self._outbound.put(_StreamItem(message))
+
+    def stream_send_op(self, method: str, finalize, tag: Any,
+                       gates: list) -> None:
+        """Queue a command-queue call whose payload resolves at send time.
+
+        ``finalize`` is called once all ``gates`` have triggered; if a gate
+        fails (e.g. the referenced buffer could not be allocated) the call's
+        event state machine is failed locally instead of transmitting.
+        """
+        message = Message(method=method, payload={},
+                          sender=self.client_name, tag=tag)
+        self._outbound.put(
+            _StreamItem(message, gates=tuple(gates), finalize=finalize)
+        )
+
+    def stream_write_data(self, tag: Any, data: Optional[bytes],
+                          nbytes: int) -> None:
+        """Queue a bulk write payload (the BUFFER step) on the stream."""
+        message = Message(method=protocol.WRITE_DATA,
+                          payload={"data": data},
+                          sender=self.client_name, tag=tag)
+        self._outbound.put(_StreamItem(message, data_nbytes=nbytes))
+
+    # -- worker processes -----------------------------------------------------
+    def _sender(self):
+        """Transmit stream items in order, paying transport costs."""
+        try:
+            while True:
+                item: _StreamItem = yield self._outbound.get()
+                if not (yield from self._resolve_gates(item)):
+                    continue
+                if item.finalize is not None:
+                    try:
+                        item.message.payload = item.finalize()
+                    except Exception as exc:  # noqa: BLE001
+                        self._fail_machine(item.message.tag, str(exc))
+                        continue
+                if item.data_nbytes > 0:
+                    yield from self.transport.data_to_server(item.data_nbytes)
+                    # Bulk payloads ride the data plane; a slim control
+                    # message still announces them.
+                yield from self.transport.control_to_server()
+                self.manager_endpoint.deliver(item.message)
+        except Interrupt:
+            return
+
+    def _resolve_gates(self, item: _StreamItem):
+        """Process: wait for an item's gates; False if any gate failed."""
+        for gate in item.gates:
+            if gate.triggered and gate.ok:
+                continue
+            try:
+                yield gate
+            except Exception as exc:  # noqa: BLE001 - routed to the machine
+                self._fail_machine(item.message.tag, str(exc))
+                return False
+        return True
+
+    def _fail_machine(self, tag: Any, error: str) -> None:
+        machine = self._machines.get(tag)
+        if machine is not None:
+            machine.on_notification(Message(
+                method=protocol.OP_FAILED, payload={"error": error},
+                sender="local", tag=tag,
+            ))
+
+    def _dispatcher(self):
+        """The connection thread: route notifications to state machines."""
+        try:
+            while True:
+                message: Message = yield self.completion_queue.inbox.get()
+                machine = self._machines.get(message.tag)
+                if machine is not None:
+                    machine.on_notification(message)
+                # Unknown tags: the machine already failed/completed; drop.
+        except Interrupt:
+            return

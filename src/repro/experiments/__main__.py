@@ -1,0 +1,121 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments fig4a
+    python -m repro.experiments table2 --json table2.json
+    REPRO_QUICK=1 python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .export import scenarios_to_records, sweep_to_records, write_json
+from .fig4 import run_mm_sweep, run_rw_sweep, run_sobel_sweep
+from .report import render_bars, render_table
+from .tables import (
+    render_table2,
+    render_table3,
+    render_table4,
+    run_table1,
+    run_use_case,
+)
+
+
+def _render_sweep(points, title: str) -> str:
+    by_label: dict = {}
+    for point in points:
+        by_label.setdefault(point.label, {})[point.system] = point.rtt * 1e3
+    rows = [
+        [label,
+         systems.get("native"),
+         systems.get("blastfunction"),
+         systems.get("blastfunction_shm")]
+        for label, systems in by_label.items()
+    ]
+    table = render_table(
+        ["Size", "Native ms", "BlastFunction ms", "BlastFunction shm ms"],
+        rows, title=title,
+    )
+    groups = [
+        (label, [("native", systems.get("native")),
+                 ("grpc", systems.get("blastfunction")),
+                 ("shm", systems.get("blastfunction_shm"))])
+        for label, systems in by_label.items()
+    ]
+    return table + "\n\n" + render_bars(groups)
+
+
+def _fig(sweep, title):
+    def runner():
+        points = sweep()
+        return _render_sweep(points, title), sweep_to_records(points)
+
+    return runner
+
+
+def _table(use_case, renderer):
+    def runner():
+        results = run_use_case(use_case)
+        return renderer(results), scenarios_to_records(results)
+
+    return runner
+
+
+def _calibration():
+    from .calibration import run_calibration
+
+    return run_calibration()
+
+
+EXPERIMENTS = {
+    "calibration": _calibration,
+    "fig4a": _fig(run_rw_sweep,
+                  "Fig. 4(a): R/W round-trip time vs total transfer size"),
+    "fig4b": _fig(run_sobel_sweep,
+                  "Fig. 4(b): Sobel operator round-trip time vs image size"),
+    "fig4c": _fig(run_mm_sweep,
+                  "Fig. 4(c): MM kernel round-trip time vs matrix size"),
+    "table1": lambda: (run_table1(), []),
+    "table2": _table("sobel", render_table2),
+    "table3": _table("mm", render_table3),
+    "table4": _table("alexnet", render_table4),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the BlastFunction paper's tables/figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write machine-readable results to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    all_records: dict = {}
+    for name in names:
+        text, records = EXPERIMENTS[name]()
+        print(text)
+        print()
+        all_records[name] = records
+    if args.json:
+        write_json(all_records, args.json)
+        print(f"JSON results written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""Figure 4: system overhead on a single node.
+
+Reproduces the three latency sweeps of Section IV-A. One Device Manager and
+one client container share a worker node; "Native" links the vendor runtime
+directly. Each measurement is the round-trip time of the benchmark's
+blocking host-code flow, exactly as the paper measures (single client, no
+background load, so the native runtime is in its quiescent profile).
+
+* **4(a)** — write+read of raw buffers, total size 1 KB → 2 GB;
+* **4(b)** — the Sobel operator, 10×10 → 1920×1080 images;
+* **4(c)** — the MM kernel, 16×16 → 4096×4096 matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..core.device_manager import DeviceManager
+from ..core.remote_lib import remote_platform
+from ..fpga import FPGABoard, HOST_I7_6700, PCIE_GEN3_X8, standard_library
+from ..ocl import Context, native_platform
+from ..rpc import Network
+from ..sim import Environment
+
+KiB = 1024
+MiB = 1024 ** 2
+GiB = 1024 ** 3
+
+#: Default sweep points of Fig. 4(a) (total bytes moved: half written, half
+#: read back).
+RW_SIZES = [
+    1 * KiB, 16 * KiB, 256 * KiB, 1 * MiB, 16 * MiB, 128 * MiB,
+    512 * MiB, 1 * GiB, 2 * GiB,
+]
+
+#: Image sizes of Fig. 4(b).
+SOBEL_SIZES = [(10, 10), (100, 100), (320, 240), (640, 480),
+               (1280, 720), (1920, 1080)]
+
+#: Matrix sizes of Fig. 4(c).
+MM_SIZES = [16, 64, 256, 512, 1024, 2048, 4096]
+
+SYSTEMS = ("native", "blastfunction", "blastfunction_shm")
+
+
+@dataclass
+class SweepPoint:
+    """One (size, system) → RTT measurement."""
+
+    label: str
+    size: int
+    system: str
+    rtt: float
+
+
+def _single_node_rig(env: Environment, system: str):
+    """Build the single-node deployment and return a platform process."""
+    library = standard_library()
+    board = FPGABoard(env, name="fpga-B", pcie=PCIE_GEN3_X8,
+                      functional=False)
+    if system == "native":
+        platform = native_platform(env, board, library, host=HOST_I7_6700)
+
+        def acquire():
+            return platform
+            yield  # pragma: no cover
+
+        return acquire, board
+
+    network = Network(env)
+    node = network.host("B", HOST_I7_6700)
+    manager = DeviceManager(env, "dm-B", board, library, network, node)
+
+    def acquire():
+        platform = yield from remote_platform(
+            env, "bench-client", node, manager, network, library,
+            prefer_shm=(system == "blastfunction_shm"),
+        )
+        return platform
+
+    return acquire, board
+
+
+def _measure(host_flow: Callable, system: str, repetitions: int = 3) -> float:
+    """Run ``host_flow(platform, context, queue)`` and return the mean RTT.
+
+    The first iteration (cold: allocation/programming) is excluded, as the
+    paper averages warmed-up calls.
+    """
+    env = Environment()
+    acquire, _board = _single_node_rig(env, system)
+    samples: List[float] = []
+
+    def main():
+        platform = yield from acquire()
+        context = Context(platform.get_devices())
+        queue = context.create_queue()
+        prepared = yield from host_flow.setup(env, context, queue)
+        for _ in range(repetitions + 1):
+            start = env.now
+            yield from host_flow.run(env, queue, prepared)
+            samples.append(env.now - start)
+            yield env.timeout(0.2)  # the paper waits 200 ms between calls
+
+    env.run(until=env.process(main()))
+    return sum(samples[1:]) / len(samples[1:])
+
+
+class _RwFlow:
+    """Blocking write of S/2 bytes then blocking read of S/2 bytes."""
+
+    def __init__(self, total_size: int):
+        self.total = total_size
+        self.half = max(total_size // 2, 1)
+
+    def setup(self, env, context, queue):
+        buffer = context.create_buffer(self.half)
+        return buffer
+        yield  # pragma: no cover
+
+    def run(self, env, queue, buffer):
+        yield from queue.write_buffer(buffer, nbytes=self.half)
+        yield from queue.read_buffer(buffer, nbytes=self.half)
+
+
+class _SobelFlow:
+    """The Spector Sobel host flow (write image, kernel, blocking read)."""
+
+    def __init__(self, width: int, height: int):
+        self.width = width
+        self.height = height
+        self.nbytes = width * height * 4
+
+    def setup(self, env, context, queue):
+        program = context.create_program("sobel")
+        yield from program.build()
+        kernel = program.create_kernel("sobel")
+        in_buf = context.create_buffer(self.nbytes)
+        out_buf = context.create_buffer(self.nbytes)
+        kernel.set_args(in_buf, out_buf, self.width, self.height)
+        return (kernel, in_buf, out_buf)
+
+    def run(self, env, queue, prepared):
+        kernel, in_buf, out_buf = prepared
+        queue.enqueue_write_buffer(in_buf, nbytes=self.nbytes)
+        queue.enqueue_kernel(kernel)
+        yield from queue.read_buffer(out_buf, nbytes=self.nbytes)
+
+
+class _MMFlow:
+    """The Spector MM host flow (write A and B, kernel, blocking read)."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.nbytes = n * n * 4
+
+    def setup(self, env, context, queue):
+        program = context.create_program("mm")
+        yield from program.build()
+        kernel = program.create_kernel("mm")
+        a = context.create_buffer(self.nbytes)
+        b = context.create_buffer(self.nbytes)
+        c = context.create_buffer(self.nbytes)
+        kernel.set_args(a, b, c, self.n, self.n, self.n)
+        return (kernel, a, b, c)
+
+    def run(self, env, queue, prepared):
+        kernel, a, b, c = prepared
+        queue.enqueue_write_buffer(a, nbytes=self.nbytes)
+        queue.enqueue_write_buffer(b, nbytes=self.nbytes)
+        queue.enqueue_kernel(kernel)
+        yield from queue.read_buffer(c, nbytes=self.nbytes)
+
+
+def run_rw_sweep(sizes: Optional[List[int]] = None,
+                 systems=SYSTEMS) -> List[SweepPoint]:
+    """Fig. 4(a): R/W round-trip time vs total transfer size."""
+    points = []
+    for size in (sizes or RW_SIZES):
+        for system in systems:
+            rtt = _measure(_RwFlow(size), system)
+            points.append(SweepPoint(_fmt_size(size), size, system, rtt))
+    return points
+
+
+def run_sobel_sweep(sizes=None, systems=SYSTEMS) -> List[SweepPoint]:
+    """Fig. 4(b): Sobel RTT vs image size."""
+    points = []
+    for width, height in (sizes or SOBEL_SIZES):
+        for system in systems:
+            rtt = _measure(_SobelFlow(width, height), system)
+            points.append(SweepPoint(
+                f"{width}x{height}", width * height * 4 * 2, system, rtt
+            ))
+    return points
+
+
+def run_mm_sweep(sizes=None, systems=SYSTEMS) -> List[SweepPoint]:
+    """Fig. 4(c): MM RTT vs matrix size."""
+    points = []
+    for n in (sizes or MM_SIZES):
+        for system in systems:
+            rtt = _measure(_MMFlow(n), system)
+            points.append(SweepPoint(f"{n}x{n}", 3 * n * n * 4, system, rtt))
+    return points
+
+
+def _fmt_size(nbytes: int) -> str:
+    if nbytes >= GiB:
+        return f"{nbytes / GiB:.0f}GB"
+    if nbytes >= MiB:
+        return f"{nbytes / MiB:.0f}MB"
+    return f"{nbytes / KiB:.0f}KB"

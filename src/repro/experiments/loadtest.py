@@ -1,0 +1,204 @@
+"""Shared multi-function load-test harness for Tables II, III and IV.
+
+Reproduces Section IV-B's method: deploy 5 identical functions under
+BlastFunction (3 under Native — one per board, pinned like the paper's
+testbed), drive each endpoint with a closed-loop single-connection load
+generator at the Table I target rate, and report per-function FPGA time
+utilization, mean latency and processed-vs-target throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..cluster import DeviceQuery, build_testbed
+from ..core.registry import AcceleratorsRegistry
+from ..core.remote_lib import ManagerAddress, PlatformRouter
+from ..loadgen import LoadStats, run_load
+from ..serverless import FunctionController, FunctionSpec, Gateway
+from ..sim import AllOf, Environment
+from .config import LoadTiming, load_timing
+
+#: Node pinning for the Native scenario (one function per board, function 1
+#: on the master node A, as in Table II).
+NATIVE_NODES = ["A", "B", "C"]
+
+
+@dataclass
+class FunctionResult:
+    """One row of a Table II-style report."""
+
+    function: str
+    node: str
+    device: str
+    utilization: float      # fraction of the device's time (0..1+)
+    latency: float          # mean seconds
+    processed: float        # rq/s
+    target: float           # rq/s
+
+    @property
+    def utilization_pct(self) -> float:
+        return 100.0 * self.utilization
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one (use-case, configuration, runtime) load test."""
+
+    use_case: str
+    configuration: str
+    runtime: str
+    functions: List[FunctionResult] = field(default_factory=list)
+    stats: List[LoadStats] = field(default_factory=list)
+
+    @property
+    def total_utilization_pct(self) -> float:
+        """Aggregate utilization (maximum 300% on the 3-board testbed)."""
+        return sum(f.utilization_pct for f in self.functions)
+
+    @property
+    def mean_latency(self) -> float:
+        latencies = [l for s in self.stats for l in s.latencies]
+        if not latencies:
+            return float("nan")
+        return sum(latencies) / len(latencies)
+
+    @property
+    def total_processed(self) -> float:
+        return sum(f.processed for f in self.functions)
+
+    @property
+    def total_target(self) -> float:
+        return sum(f.target for f in self.functions)
+
+
+def run_scenario(
+    use_case: str,
+    configuration: str,
+    runtime: str,
+    app_factory: Callable[[], object],
+    accelerator: str,
+    rates: List[float],
+    timing: Optional[LoadTiming] = None,
+    env: Optional[Environment] = None,
+    metrics_order: tuple = ("connected_functions", "utilization"),
+    use_shm: bool = True,
+    batching: bool = True,
+) -> ScenarioResult:
+    """Run one load-test scenario end to end and return the report.
+
+    ``metrics_order``, ``use_shm`` and ``batching`` expose the ablation
+    knobs (Algorithm 1's metric priority, the shared-memory transport, and
+    the Device Manager's multi-operation task batching).
+    """
+    timing = timing or load_timing()
+    env = env or Environment()
+    testbed = build_testbed(env, functional=False, scrape_interval=1.0,
+                            batching=batching)
+    gateway = Gateway(env, testbed.cluster)
+
+    if runtime == "blastfunction":
+        registry = AcceleratorsRegistry(
+            env, testbed.cluster, list(testbed.managers.values()),
+            scraper=testbed.scraper,
+            metrics_order=metrics_order,
+            use_shm=use_shm,
+        )
+        router = PlatformRouter(env, testbed.network, testbed.library)
+        router.add_managers(
+            [ManagerAddress.of(m) for m in testbed.managers.values()]
+        )
+        controller = FunctionController(env, testbed.cluster, gateway, router)
+        registry.migrator = controller.migrate
+    elif runtime == "native":
+        controller = FunctionController(env, testbed.cluster, gateway,
+                                        router=None)
+    else:
+        raise ValueError(f"unknown runtime {runtime!r}")
+
+    names = [f"{use_case}-{index}" for index in range(1, len(rates) + 1)]
+
+    def deploy_all():
+        for index, name in enumerate(names):
+            spec = FunctionSpec(
+                name=name,
+                app_factory=app_factory,
+                device_query=DeviceQuery(
+                    vendor="Intel", accelerator=accelerator
+                ),
+                runtime=runtime,
+                node_name=(
+                    NATIVE_NODES[index] if runtime == "native" else ""
+                ),
+            )
+            yield from gateway.deploy(spec)
+        for name in names:
+            yield from controller.wait_ready(name)
+
+    env.run(until=env.process(deploy_all()))
+
+    # Identify each function's device + metric identity.
+    placements: Dict[str, tuple] = {}
+    for name in names:
+        pods = testbed.cluster.pods_of_function(name)
+        assert len(pods) == 1, f"{name} has {len(pods)} pods"
+        pod = pods[0]
+        if runtime == "blastfunction":
+            manager = testbed.managers[pod.spec.env["BF_MANAGER"]]
+            placements[name] = (pod.node.name, manager, pod.name)
+        else:
+            placements[name] = (pod.node.name, None, pod.name)
+
+    # Busy-time accounting over exactly the measurement window.
+    busy_before: Dict[str, float] = {}
+    busy_after: Dict[str, float] = {}
+
+    def busy_of(name: str) -> float:
+        node_name, manager, pod_name = placements[name]
+        if manager is not None:
+            counter = manager.metrics.get("client_busy_seconds_total")
+            return counter.labels(pod_name).value
+        board = testbed.cluster.node(node_name).board
+        return board.busy_seconds
+
+    def snapshot(target: Dict[str, float]):
+        yield env.timeout(timing.warmup)
+        for name in names:
+            target[name] = busy_of(name)
+
+    load_processes = [
+        env.process(run_load(
+            env, gateway, name, rate=rate, duration=timing.duration,
+            warmup=timing.warmup, connections=1,
+        ))
+        for name, rate in zip(names, rates)
+    ]
+    env.process(snapshot(busy_before))
+
+    def main():
+        results = yield AllOf(env, load_processes)
+        for name in names:
+            busy_after[name] = busy_of(name)
+        return [results[p] for p in load_processes]
+
+    stats_list = env.run(until=env.process(main()))
+
+    result = ScenarioResult(use_case, configuration, runtime)
+    for name, rate, stats in zip(names, rates, stats_list):
+        node_name, manager, _pod = placements[name]
+        device = manager.name if manager else f"fpga-{node_name}"
+        utilization = (
+            (busy_after[name] - busy_before[name]) / timing.duration
+        )
+        result.functions.append(FunctionResult(
+            function=name,
+            node=node_name,
+            device=device,
+            utilization=utilization,
+            latency=stats.mean_latency,
+            processed=stats.achieved_rate,
+            target=rate,
+        ))
+        result.stats.append(stats)
+    return result

@@ -1,0 +1,272 @@
+"""The FPGA board: programming, DMA, kernel execution, busy accounting.
+
+One :class:`FPGABoard` models a Terasic DE5a-Net attached to a node.  The
+board offers three externally visible activities, all simulation processes:
+
+* :meth:`program` — full reconfiguration with a bitstream (exclusive,
+  seconds-long, wipes device memory);
+* :meth:`dma_write` / :meth:`dma_read` — host↔DDR transfers through the
+  PCIe link;
+* :meth:`execute` — run a kernel from the programmed bitstream (the board
+  executes one kernel at a time: the time-sharing unit of the paper).
+
+Every busy interval (DMA or compute) is reported to registered listeners;
+the Device Manager uses this to export the *FPGA time utilization* metric
+("time spent by the device computing OpenCL calls in a given amount of
+time").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..kernels.base import AcceleratorKernel
+from ..sim import Environment, Resource
+from .bitstream import Bitstream
+from .ddr import DeviceBuffer, MemoryAllocator
+from .hwspec import BoardSpec, DE5A_NET, PCIeSpec, PCIE_GEN3_X8
+from .pcie import PCIeLink
+
+#: Listener signature: (busy_seconds, activity) with activity in
+#: {"dma", "kernel", "reconfigure"}.
+BusyListener = Callable[[float, str], None]
+
+
+class BoardError(RuntimeError):
+    """Board misuse: executing without a bitstream, unknown kernel, ..."""
+
+
+class KernelFault(RuntimeError):
+    """A kernel run failed on the device (injected or hardware fault)."""
+
+
+class FPGABoard:
+    """A single FPGA accelerator board."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "fpga0",
+        spec: BoardSpec = DE5A_NET,
+        pcie: PCIeSpec = PCIE_GEN3_X8,
+        functional: bool = True,
+    ):
+        self.env = env
+        self.name = name
+        self.spec = spec
+        self.functional = functional
+        self.link = PCIeLink(env, pcie)
+        self.memory = MemoryAllocator(spec.memory_bytes, functional)
+        #: One partial-reconfiguration slot per accelerator region; each
+        #: slot executes one kernel at a time.  Classic boards have a
+        #: single slot, making kernel execution fully exclusive.
+        self.slots: List[Optional[Bitstream]] = [None] * spec.pr_slots
+        self._slot_locks = [Resource(env, capacity=1)
+                            for _ in range(spec.pr_slots)]
+        self.busy_seconds = 0.0
+        self.kernel_runs = 0
+        self.reconfigurations = 0
+        self.partial_reconfigurations = 0
+        self._busy_listeners: List[BusyListener] = []
+        #: Fault injection hook for robustness testing: called before every
+        #: kernel run as ``fault_injector(kernel_name, run_index)``; a
+        #: truthy return makes the run fail with :class:`KernelFault` after
+        #: consuming its device time (a hang/abort detected at completion).
+        self.fault_injector: Optional[Callable[[str, int], bool]] = None
+
+    @property
+    def slot_count(self) -> int:
+        return self.spec.pr_slots
+
+    @property
+    def compute(self) -> Resource:
+        """The primary slot's execution lock (single-slot compatibility)."""
+        return self._slot_locks[0]
+
+    @property
+    def bitstream(self) -> Optional[Bitstream]:
+        """The primary slot's image (single-slot compatibility)."""
+        return self.slots[0]
+
+    # -- observation -------------------------------------------------------
+    def add_busy_listener(self, listener: BusyListener) -> None:
+        """Register a callback invoked after every busy interval."""
+        self._busy_listeners.append(listener)
+
+    def _account(self, seconds: float, activity: str) -> None:
+        self.busy_seconds += seconds
+        for listener in self._busy_listeners:
+            listener(seconds, activity)
+
+    @property
+    def programmed(self) -> bool:
+        return any(slot is not None for slot in self.slots)
+
+    def kernel_slot(self, name: str) -> tuple[int, AcceleratorKernel]:
+        """Find which slot hosts a kernel; returns (slot index, kernel)."""
+        if not self.programmed:
+            raise BoardError(f"board {self.name} has no bitstream")
+        for index, bitstream in enumerate(self.slots):
+            if bitstream is not None and name in bitstream:
+                return index, bitstream.kernel(name)
+        raise KeyError(
+            f"kernel {name!r} not programmed on board {self.name} "
+            f"(slots: {[b.name if b else None for b in self.slots]})"
+        )
+
+    def kernel(self, name: str) -> AcceleratorKernel:
+        """Look up a kernel among the programmed slots."""
+        return self.kernel_slot(name)[1]
+
+    # -- programming ---------------------------------------------------------
+    def program(self, bitstream: Bitstream):
+        """Process: full-device reconfiguration.
+
+        Blocks all kernel execution for the full reconfiguration time,
+        wipes every slot and invalidates device memory (all buffers are
+        freed), as a real full-device reprogram does.  The image lands in
+        slot 0.
+        """
+        grants = [lock.request() for lock in self._slot_locks]
+        try:
+            for grant in grants:
+                yield grant
+            start = self.env.now
+            yield self.env.timeout(self.spec.reconfiguration_time)
+            self.memory.release_all()
+            self.slots = [None] * self.slot_count
+            self.slots[0] = bitstream
+            self.reconfigurations += 1
+            self._account(self.env.now - start, "reconfigure")
+        finally:
+            for lock, grant in zip(self._slot_locks, grants):
+                lock.release(grant)
+
+    def program_slot(self, slot: int, bitstream: Bitstream):
+        """Process: partial reconfiguration of one slot (space-sharing).
+
+        Only the target slot is blocked; other slots keep executing and
+        device memory survives, as with real PR flows.
+        """
+        if not 0 <= slot < self.slot_count:
+            raise BoardError(
+                f"slot {slot} out of range (board has {self.slot_count})"
+            )
+        with self._slot_locks[slot].request() as grant:
+            yield grant
+            start = self.env.now
+            yield self.env.timeout(self.spec.partial_reconfiguration_time)
+            self.slots[slot] = bitstream
+            self.partial_reconfigurations += 1
+            self._account(self.env.now - start, "reconfigure")
+
+    # -- memory ---------------------------------------------------------------
+    def allocate(self, size: int) -> DeviceBuffer:
+        """Allocate device memory (instantaneous control operation)."""
+        return self.memory.allocate(size)
+
+    def free(self, buffer: DeviceBuffer | int) -> None:
+        self.memory.release(buffer)
+
+    # -- data movement ---------------------------------------------------------
+    def dma_write(
+        self,
+        buffer: DeviceBuffer,
+        nbytes: int,
+        data: Optional[bytes] = None,
+        offset: int = 0,
+    ):
+        """Process: move ``nbytes`` host→device; returns nothing.
+
+        ``data`` is stored into the buffer when the board is functional.
+        """
+        if nbytes < 0 or offset < 0 or offset + nbytes > buffer.size:
+            raise ValueError(
+                f"write of {nbytes}@{offset} outside buffer size {buffer.size}"
+            )
+        start = self.env.now
+        yield from self.link.transfer(nbytes)
+        if self.functional and data is not None:
+            buffer.write(data[:nbytes], offset)
+        self._account(self.env.now - start, "dma")
+
+    def copy_on_device(self, src: DeviceBuffer, dst: DeviceBuffer,
+                       nbytes: int, src_offset: int = 0,
+                       dst_offset: int = 0):
+        """Process: device-internal copy (``clEnqueueCopyBuffer``).
+
+        Moves data DDR→DDR without crossing PCIe; bandwidth-limited by the
+        on-board memory controller.
+        """
+        if (nbytes < 0 or src_offset < 0 or dst_offset < 0
+                or src_offset + nbytes > src.size
+                or dst_offset + nbytes > dst.size):
+            raise ValueError(
+                f"copy of {nbytes} bytes outside buffer bounds "
+                f"(src {src.size}, dst {dst.size})"
+            )
+        start = self.env.now
+        yield self.env.timeout(nbytes / self.DDR_COPY_BANDWIDTH)
+        if self.functional:
+            dst.write(src.read(nbytes, src_offset), dst_offset)
+        self._account(self.env.now - start, "dma")
+
+    #: On-board DDR-to-DDR copy bandwidth (read + write on DDR3-capable
+    #: SODIMMs), bytes/second.
+    DDR_COPY_BANDWIDTH = 10.0e9
+
+    def dma_read(self, buffer: DeviceBuffer, nbytes: int, offset: int = 0):
+        """Process: move ``nbytes`` device→host; returns the bytes."""
+        if nbytes < 0 or offset < 0 or offset + nbytes > buffer.size:
+            raise ValueError(
+                f"read of {nbytes}@{offset} outside buffer size {buffer.size}"
+            )
+        start = self.env.now
+        yield from self.link.transfer(nbytes)
+        self._account(self.env.now - start, "dma")
+        if self.functional:
+            return buffer.read(nbytes, offset)
+        return bytes(nbytes)
+
+    # -- execution ----------------------------------------------------------
+    def execute(self, kernel_name: str, arg_values: list):
+        """Process: run one kernel invocation to completion.
+
+        Resolves and validates arguments against the kernel schema, holds
+        the board's compute resource for the kernel's modelled duration and
+        (in functional mode) performs the actual computation.  Returns the
+        kernel's execution time in seconds.
+        """
+        slot, kernel = self.kernel_slot(kernel_name)
+        args = kernel.resolve_args(arg_values)
+        duration = kernel.duration(args)
+        with self._slot_locks[slot].request() as grant:
+            yield grant
+            # A full reprogram may have wiped the slot while we waited.
+            current = self.slots[slot]
+            if current is None or kernel_name not in current:
+                raise BoardError(
+                    f"kernel {kernel_name!r} was unloaded from slot {slot} "
+                    f"of board {self.name} during a reconfiguration"
+                )
+            start = self.env.now
+            yield self.env.timeout(duration)
+            run_index = self.kernel_runs
+            self.kernel_runs += 1
+            faulted = (
+                self.fault_injector is not None
+                and self.fault_injector(kernel_name, run_index)
+            )
+            if not faulted and self.functional:
+                kernel.compute(args)
+            self._account(self.env.now - start, "kernel")
+            if faulted:
+                raise KernelFault(
+                    f"kernel {kernel_name!r} run #{run_index} failed on "
+                    f"board {self.name}"
+                )
+        return duration
+
+    def __repr__(self) -> str:
+        configured = self.bitstream.name if self.bitstream else None
+        return f"<FPGABoard {self.name} bitstream={configured!r}>"

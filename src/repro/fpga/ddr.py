@@ -1,0 +1,165 @@
+"""On-board DDR memory model: a first-fit allocator plus buffer objects.
+
+The DE5a-Net carries 8 GB of DDR across two SODIMMs.  OpenCL buffers created
+by clients are allocated here; the allocator enforces capacity (raising
+:class:`OutOfMemoryError` like ``CL_MEM_OBJECT_ALLOCATION_FAILURE``) and the
+buffers optionally hold real bytes so kernels can compute functionally.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class OutOfMemoryError(MemoryError):
+    """Device memory exhausted (maps to CL_MEM_OBJECT_ALLOCATION_FAILURE)."""
+
+
+class DeviceBuffer:
+    """A region of device DDR.
+
+    ``data`` is materialised lazily and only when the owning allocator runs
+    in *functional* mode; in timing-only simulations buffers carry sizes but
+    no bytes, which keeps multi-hour load tests cheap.
+    """
+
+    def __init__(self, buffer_id: int, size: int, offset: int,
+                 functional: bool):
+        self.id = buffer_id
+        self.size = size
+        self.offset = offset
+        self._functional = functional
+        self._data: Optional[np.ndarray] = None
+        self.freed = False
+
+    @property
+    def data(self) -> np.ndarray:
+        """Backing bytes (functional mode only)."""
+        if not self._functional:
+            raise RuntimeError(
+                "buffer has no backing data (allocator is timing-only)"
+            )
+        if self._data is None:
+            self._data = np.zeros(self.size, dtype=np.uint8)
+        return self._data
+
+    def write(self, payload: bytes | np.ndarray, offset: int = 0) -> None:
+        """Copy host bytes into the buffer at ``offset``."""
+        view = np.frombuffer(
+            payload.tobytes() if isinstance(payload, np.ndarray) else payload,
+            dtype=np.uint8,
+        )
+        self._check_range(offset, len(view))
+        if self._functional:
+            self.data[offset:offset + len(view)] = view
+
+    def read(self, size: Optional[int] = None, offset: int = 0) -> bytes:
+        """Copy ``size`` bytes out of the buffer starting at ``offset``."""
+        if size is None:
+            size = self.size - offset
+        self._check_range(offset, size)
+        if self._functional:
+            return self.data[offset:offset + size].tobytes()
+        return bytes(size)
+
+    def as_array(self, dtype: np.dtype, shape: tuple[int, ...]) -> np.ndarray:
+        """View the buffer contents as a typed array (functional mode)."""
+        wanted = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        self._check_range(0, wanted)
+        return self.data[:wanted].view(dtype).reshape(shape)
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if self.freed:
+            raise RuntimeError(f"buffer {self.id} already freed")
+        if offset < 0 or size < 0 or offset + size > self.size:
+            raise ValueError(
+                f"access [{offset}, {offset + size}) outside buffer of "
+                f"size {self.size}"
+            )
+
+    def __repr__(self) -> str:
+        return f"<DeviceBuffer id={self.id} size={self.size}>"
+
+
+class MemoryAllocator:
+    """First-fit allocator over a fixed-size device memory."""
+
+    def __init__(self, capacity: int, functional: bool = True):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.functional = functional
+        self._buffers: Dict[int, DeviceBuffer] = {}
+        self._ids = count(1)
+        self._used = 0
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return self._used
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._used
+
+    def allocate(self, size: int) -> DeviceBuffer:
+        """Allocate ``size`` bytes; raises :class:`OutOfMemoryError`."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if size > self.free:
+            raise OutOfMemoryError(
+                f"requested {size} bytes, only {self.free} free of "
+                f"{self.capacity}"
+            )
+        offset = self._find_offset(size)
+        buffer = DeviceBuffer(next(self._ids), size, offset, self.functional)
+        self._buffers[buffer.id] = buffer
+        self._used += size
+        return buffer
+
+    def get(self, buffer_id: int) -> DeviceBuffer:
+        try:
+            return self._buffers[buffer_id]
+        except KeyError:
+            raise KeyError(f"unknown buffer id {buffer_id}") from None
+
+    def release(self, buffer: DeviceBuffer | int) -> None:
+        """Free a buffer (idempotent on already-freed ids is an error)."""
+        buffer_id = buffer.id if isinstance(buffer, DeviceBuffer) else buffer
+        found = self._buffers.pop(buffer_id, None)
+        if found is None:
+            raise KeyError(f"unknown buffer id {buffer_id}")
+        found.freed = True
+        self._used -= found.size
+
+    def release_all(self) -> int:
+        """Free every buffer (used when a client disconnects); returns count."""
+        n = len(self._buffers)
+        for buffer in self._buffers.values():
+            buffer.freed = True
+        self._buffers.clear()
+        self._used = 0
+        return n
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def _find_offset(self, size: int) -> int:
+        """First-fit search over the gaps between live allocations."""
+        allocations = sorted(
+            (b.offset, b.size) for b in self._buffers.values()
+        )
+        cursor = 0
+        for offset, allocated in allocations:
+            if offset - cursor >= size:
+                return cursor
+            cursor = max(cursor, offset + allocated)
+        if cursor + size > self.capacity:
+            # Fragmented: total free is sufficient but no contiguous hole.
+            raise OutOfMemoryError(
+                f"no contiguous hole of {size} bytes (fragmentation)"
+            )
+        return cursor

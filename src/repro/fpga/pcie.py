@@ -1,0 +1,37 @@
+"""PCI Express link model.
+
+DMA transfers between host and board memory are serialized through the link
+and take ``latency + nbytes/bandwidth`` seconds.  Node A's board sits behind
+a gen2 connector, nodes B/C behind gen3 — the asymmetry the paper's Table II
+exposes (node A saturates first).
+"""
+
+from __future__ import annotations
+
+from ..sim import Environment, Resource
+from .hwspec import PCIeSpec, PCIE_GEN3_X8
+
+
+class PCIeLink:
+    """A host↔board PCIe connection shared by all DMA transfers."""
+
+    def __init__(self, env: Environment, spec: PCIeSpec = PCIE_GEN3_X8):
+        self.env = env
+        self.spec = spec
+        self._channel = Resource(env, capacity=1)
+        self.bytes_transferred = 0
+        self.transfer_count = 0
+
+    def transfer(self, nbytes: int):
+        """Process: move ``nbytes`` across the link (either direction)."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        with self._channel.request() as grant:
+            yield grant
+            yield self.env.timeout(self.spec.transfer_time(nbytes))
+        self.bytes_transferred += nbytes
+        self.transfer_count += 1
+
+    @property
+    def busy(self) -> bool:
+        return self._channel.count > 0

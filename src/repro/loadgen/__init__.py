@@ -1,0 +1,14 @@
+"""HTTP load generator modelled on ``hey`` (https://github.com/rakyll/hey).
+
+The paper load-tests every function "with one connection per function" at a
+target requests-per-second.  ``hey``'s rate limiting is per-worker and
+closed-loop: a worker never has more than one request in flight and sends
+the next one no earlier than ``1/rate`` after the previous send.  This is
+exactly the mechanism that produces the paper's *processed vs target* gaps:
+once the response latency exceeds the send interval, throughput collapses
+to ``1/latency``.
+"""
+
+from .hey import LoadStats, percentile, run_load
+
+__all__ = ["LoadStats", "percentile", "run_load"]

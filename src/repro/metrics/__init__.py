@@ -1,0 +1,27 @@
+"""Prometheus-model metrics substrate.
+
+Provides the monitoring pipeline the paper relies on: Device Managers expose
+counters/gauges/histograms; a pull-model :class:`Scraper` samples them on an
+interval; the Accelerators Registry's Metrics Gatherer runs rate/average
+queries over the resulting time series (e.g. FPGA time utilization).
+"""
+
+from .registry import (
+    DEFAULT_BUCKETS,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .scraper import Scraper, ScrapeTarget
+from .timeseries import TimeSeries, TimeSeriesDatabase
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricError",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Scraper",
+    "ScrapeTarget",
+    "TimeSeries",
+    "TimeSeriesDatabase",
+]

@@ -1,0 +1,285 @@
+"""Prometheus-model metric primitives.
+
+The paper's Accelerators Registry consumes Device Manager metrics "from a
+Prometheus service"; this module reproduces the relevant slice of the
+Prometheus data model: counters, gauges and histograms with label sets,
+collected in a registry that can be scraped (see
+:mod:`repro.metrics.scraper`) and rendered in the text exposition format.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+LabelValues = Tuple[str, ...]
+
+#: Default histogram buckets (seconds), as in the Prometheus client.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.075, 0.1, 0.25, 0.5,
+    0.75, 1.0, 2.5, 5.0, 7.5, 10.0, float("inf"),
+)
+
+_VALID_METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+class MetricError(ValueError):
+    """Raised on metric misuse (bad labels, decreasing counter, ...)."""
+
+
+class _Child:
+    """A single labelled time series within a metric family."""
+
+    def __init__(self, family: "MetricFamily", labels: LabelValues):
+        self._family = family
+        self._labels = labels
+        self._value = 0.0
+        # Histogram-only state:
+        self._sum = 0.0
+        self._count = 0
+        self._bucket_counts: Optional[list[int]] = None
+        if family.type == "histogram":
+            self._bucket_counts = [0] * len(family.buckets)
+
+    @property
+    def value(self) -> float:
+        if self._family.type == "histogram":
+            raise MetricError("histograms have no scalar value; use sum/count")
+        return self._value
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    # -- counter ---------------------------------------------------------
+    def inc(self, amount: float = 1.0) -> None:
+        if self._family.type == "counter" and amount < 0:
+            raise MetricError("counters can only increase")
+        if self._family.type == "histogram":
+            raise MetricError("use observe() on histograms")
+        self._value += amount
+
+    # -- gauge -----------------------------------------------------------
+    def dec(self, amount: float = 1.0) -> None:
+        if self._family.type != "gauge":
+            raise MetricError("dec() is only valid on gauges")
+        self._value -= amount
+
+    def set(self, value: float) -> None:
+        if self._family.type != "gauge":
+            raise MetricError("set() is only valid on gauges")
+        self._value = float(value)
+
+    # -- histogram ---------------------------------------------------------
+    def observe(self, value: float) -> None:
+        if self._family.type != "histogram":
+            raise MetricError("observe() is only valid on histograms")
+        assert self._bucket_counts is not None
+        self._sum += value
+        self._count += 1
+        # Buckets are stored non-cumulatively; samples() cumulates on render.
+        for index, bound in enumerate(self._family.buckets):
+            if value <= bound:
+                self._bucket_counts[index] += 1
+                break
+
+    def quantile(self, q: float) -> float:
+        """Estimate quantile ``q`` from the cumulative bucket counts.
+
+        Uses the same linear interpolation as Prometheus'
+        ``histogram_quantile``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile {q} outside [0, 1]")
+        assert self._bucket_counts is not None
+        if self._count == 0:
+            return math.nan
+        rank = q * self._count
+        cumulative = 0
+        lower = 0.0
+        for index, bound in enumerate(self._family.buckets):
+            previous = cumulative
+            cumulative += self._bucket_counts[index]
+            if cumulative >= rank and self._bucket_counts[index] > 0:
+                if math.isinf(bound):
+                    return lower
+                fraction = (rank - previous) / self._bucket_counts[index]
+                return lower + (bound - lower) * min(max(fraction, 0.0), 1.0)
+            lower = bound if not math.isinf(bound) else lower
+        return lower
+
+
+class MetricFamily:
+    """A named metric with a fixed label schema and many label children."""
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        type: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if type not in _VALID_METRIC_TYPES:
+            raise MetricError(f"unknown metric type {type!r}")
+        if not name or not name.replace("_", "a").replace(":", "a").isalnum():
+            raise MetricError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.type = type
+        self.labelnames = tuple(labelnames)
+        buckets = tuple(sorted(set(float(b) for b in buckets)))
+        if type == "histogram" and (not buckets or not math.isinf(buckets[-1])):
+            buckets = buckets + (float("inf"),)
+        self.buckets = buckets
+        self._children: Dict[LabelValues, _Child] = {}
+        if not self.labelnames:
+            # Unlabelled metrics are exposed immediately (at zero), like the
+            # Prometheus client library does.
+            self.labels()
+
+    def labels(self, *values: str, **kwvalues: str) -> _Child:
+        """Get (creating if needed) the child for a label-value combination."""
+        if kwvalues:
+            if values:
+                raise MetricError("pass labels positionally or by name, not both")
+            try:
+                values = tuple(str(kwvalues[name]) for name in self.labelnames)
+            except KeyError as exc:
+                raise MetricError(f"missing label {exc.args[0]!r}") from None
+            if len(kwvalues) != len(self.labelnames):
+                raise MetricError("unexpected label names")
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name} expects labels {self.labelnames}, got {values}"
+            )
+        child = self._children.get(values)
+        if child is None:
+            child = _Child(self, values)
+            self._children[values] = child
+        return child
+
+    @property
+    def _default(self) -> _Child:
+        if self.labelnames:
+            raise MetricError(f"{self.name} requires labels()")
+        return self.labels()
+
+    # Convenience passthroughs for unlabelled metrics -----------------------
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default.dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+    def samples(self) -> Iterable[Tuple[str, Mapping[str, str], float]]:
+        """Yield ``(sample_name, labels, value)`` triples, Prometheus-style."""
+        for labelvalues, child in sorted(self._children.items()):
+            labels = dict(zip(self.labelnames, labelvalues))
+            if self.type == "histogram":
+                cumulative = 0
+                assert child._bucket_counts is not None
+                for bound, bucket_count in zip(self.buckets, child._bucket_counts):
+                    cumulative += bucket_count
+                    le = "+Inf" if math.isinf(bound) else repr(bound)
+                    yield (
+                        f"{self.name}_bucket",
+                        {**labels, "le": le},
+                        float(cumulative),
+                    )
+                yield f"{self.name}_sum", labels, child._sum
+                yield f"{self.name}_count", labels, float(child._count)
+            else:
+                yield self.name, labels, child._value
+
+
+class MetricsRegistry:
+    """A collection of metric families exposed by one component."""
+
+    def __init__(self, namespace: str = ""):
+        self.namespace = namespace
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _full_name(self, name: str) -> str:
+        return f"{self.namespace}_{name}" if self.namespace else name
+
+    def _register(self, family: MetricFamily) -> MetricFamily:
+        if family.name in self._families:
+            raise MetricError(f"duplicate metric {family.name!r}")
+        self._families[family.name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(
+            MetricFamily(self._full_name(name), help, "counter", labelnames)
+        )
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(
+            MetricFamily(self._full_name(name), help, "gauge", labelnames)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._register(
+            MetricFamily(self._full_name(name), help, "histogram", labelnames, buckets)
+        )
+
+    def get(self, name: str) -> MetricFamily:
+        return self._families[self._full_name(name)]
+
+    def __contains__(self, name: str) -> bool:
+        return self._full_name(name) in self._families
+
+    def families(self) -> Iterable[MetricFamily]:
+        return self._families.values()
+
+    def collect(self) -> Dict[str, Dict[LabelValues, float]]:
+        """Snapshot all scalar samples as ``{name: {labelvalues: value}}``."""
+        snapshot: Dict[str, Dict[LabelValues, float]] = {}
+        for family in self._families.values():
+            for sample_name, labels, value in family.samples():
+                key = tuple(f"{k}={v}" for k, v in sorted(labels.items()))
+                snapshot.setdefault(sample_name, {})[key] = value
+        return snapshot
+
+    def render_text(self) -> str:
+        """Render the registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for family in self._families.values():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.type}")
+            for sample_name, labels, value in family.samples():
+                if labels:
+                    rendered = ",".join(
+                        f'{key}="{val}"' for key, val in labels.items()
+                    )
+                    lines.append(f"{sample_name}{{{rendered}}} {value}")
+                else:
+                    lines.append(f"{sample_name} {value}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,78 @@
+"""Pull-model metrics scraper (the Prometheus server of the simulation).
+
+A :class:`Scraper` is a simulation process that periodically collects every
+registered target's :class:`~repro.metrics.registry.MetricsRegistry` into a
+:class:`~repro.metrics.timeseries.TimeSeriesDatabase`.  The Accelerators
+Registry's Metrics Gatherer then issues rate/avg queries against that
+database, exactly as the paper's Registry queries Prometheus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim import Environment, Interrupt
+from .registry import MetricsRegistry
+from .timeseries import TimeSeriesDatabase
+
+
+class ScrapeTarget:
+    """A named component exposing a metrics registry."""
+
+    def __init__(self, name: str, registry: MetricsRegistry,
+                 instance_labels: Optional[Dict[str, str]] = None):
+        self.name = name
+        self.registry = registry
+        self.instance_labels = dict(instance_labels or {})
+
+
+class Scraper:
+    """Periodically scrapes all targets into a time-series database."""
+
+    def __init__(self, env: Environment, interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("scrape interval must be > 0")
+        self.env = env
+        self.interval = interval
+        self.database = TimeSeriesDatabase()
+        self._targets: Dict[str, ScrapeTarget] = {}
+        self.scrape_count = 0
+        self._process = env.process(self._run())
+
+    def add_target(self, name: str, registry: MetricsRegistry,
+                   **instance_labels: str) -> ScrapeTarget:
+        """Register a scrape target (idempotent on name)."""
+        target = ScrapeTarget(name, registry, instance_labels)
+        self._targets[name] = target
+        return target
+
+    def remove_target(self, name: str) -> None:
+        self._targets.pop(name, None)
+
+    def scrape_once(self) -> None:
+        """Collect one sample from every target at the current time."""
+        now = self.env.now
+        for target in self._targets.values():
+            snapshot = target.registry.collect()
+            base_labels = tuple(
+                f"{k}={v}" for k, v in sorted(
+                    {**target.instance_labels, "instance": target.name}.items()
+                )
+            )
+            for metric_name, children in snapshot.items():
+                for labelvalues, value in children.items():
+                    labels = tuple(sorted(base_labels + labelvalues))
+                    self.database.series(metric_name, labels).append(now, value)
+        self.scrape_count += 1
+
+    def stop(self) -> None:
+        if self._process.is_alive:
+            self._process.interrupt("scraper stopped")
+
+    def _run(self):
+        try:
+            while True:
+                yield self.env.timeout(self.interval)
+                self.scrape_once()
+        except Interrupt:
+            return

@@ -1,0 +1,111 @@
+"""Time-series storage and PromQL-style queries over scraped samples."""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Tuple
+
+
+class TimeSeries:
+    """Timestamped samples of one metric/label-set combination."""
+
+    def __init__(self, name: str, labels: Tuple[str, ...] = ()):
+        self.name = name
+        self.labels = labels
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time: float, value: float) -> None:
+        """Append a sample; timestamps must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"non-monotonic sample at {time} (last {self._times[-1]})"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    def latest(self) -> Optional[float]:
+        """Most recent sample value, or None if empty."""
+        return self._values[-1] if self._values else None
+
+    def latest_time(self) -> Optional[float]:
+        return self._times[-1] if self._times else None
+
+    def window(self, start: float, end: float) -> List[Tuple[float, float]]:
+        """Samples with ``start <= t <= end``."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_right(self._times, end)
+        return list(zip(self._times[lo:hi], self._values[lo:hi]))
+
+    def rate(self, window: float, now: Optional[float] = None) -> float:
+        """Per-second increase over the trailing ``window`` (counter rate).
+
+        Like PromQL ``rate()``: uses first/last sample in range. Returns NaN
+        with fewer than two samples.
+        """
+        if now is None:
+            now = self._times[-1] if self._times else 0.0
+        samples = self.window(now - window, now)
+        if len(samples) < 2:
+            return math.nan
+        (t0, v0), (t1, v1) = samples[0], samples[-1]
+        if t1 == t0:
+            return math.nan
+        increase = v1 - v0
+        if increase < 0:  # counter reset
+            increase = v1
+        return increase / (t1 - t0)
+
+    def avg(self, window: float, now: Optional[float] = None) -> float:
+        """Average of samples over the trailing ``window`` (gauge average)."""
+        if now is None:
+            now = self._times[-1] if self._times else 0.0
+        samples = self.window(now - window, now)
+        if not samples:
+            return math.nan
+        return sum(v for _, v in samples) / len(samples)
+
+    def increase(self, window: float, now: Optional[float] = None) -> float:
+        """Total increase over the trailing window (counter increase)."""
+        r = self.rate(window, now)
+        return r * window if not math.isnan(r) else math.nan
+
+
+class TimeSeriesDatabase:
+    """All series scraped from all targets, keyed by (metric, labels)."""
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, Tuple[str, ...]], TimeSeries] = {}
+
+    def series(self, name: str, labels: Tuple[str, ...] = ()) -> TimeSeries:
+        """Get (creating if needed) a series."""
+        key = (name, tuple(labels))
+        found = self._series.get(key)
+        if found is None:
+            found = TimeSeries(name, tuple(labels))
+            self._series[key] = found
+        return found
+
+    def lookup(self, name: str, labels: Tuple[str, ...] = ()) -> Optional[TimeSeries]:
+        """Get a series if it exists, without creating it."""
+        return self._series.get((name, tuple(labels)))
+
+    def select(self, name: str) -> List[TimeSeries]:
+        """All series of a metric name regardless of labels."""
+        return [s for (n, _), s in self._series.items() if n == name]
+
+    def select_matching(self, name: str, **label_filters: str) -> List[TimeSeries]:
+        """Series of ``name`` whose labels contain all given ``key=value``."""
+        wanted = {f"{k}={v}" for k, v in label_filters.items()}
+        return [
+            series
+            for (n, labels), series in self._series.items()
+            if n == name and wanted.issubset(set(labels))
+        ]
+
+    def __len__(self) -> int:
+        return len(self._series)

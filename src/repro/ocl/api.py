@@ -1,0 +1,211 @@
+"""C-style OpenCL API: ``cl*``-named functions over the object model.
+
+The paper's transparency claim is about host code written against the
+OpenCL *C API*; this module offers that exact vocabulary so ported host
+code reads like the original:
+
+    context = clCreateContext(devices)
+    queue = clCreateCommandQueue(context)
+    yield from clBuildProgram(program)
+    clSetKernelArg(kernel, 0, in_buf)
+    yield from clEnqueueWriteBuffer(queue, buf, True, 0, n, data)
+    event = clEnqueueNDRangeKernel(queue, kernel)
+    yield clWaitForEvents([event])
+
+Conventions: calls with ``blocking=True`` (and ``clBuildProgram`` /
+``clFinish``) are simulation processes — drive them with ``yield from``.
+Non-blocking enqueues return :class:`CLEvent` immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from .errors import CLError, CL_INVALID_VALUE
+from .objects import (
+    CLEvent,
+    CommandQueue,
+    Context,
+    Device,
+    Kernel,
+    MemBuffer,
+    Platform,
+    Program,
+    wait_for_events,
+)
+from .types import (
+    DeviceInfo,
+    DeviceType,
+    MemFlags,
+    PlatformInfo,
+    ProfilingInfo,
+    QueueProperties,
+)
+
+__all__ = [
+    "clBuildProgram",
+    "clCreateBuffer",
+    "clCreateCommandQueue",
+    "clCreateContext",
+    "clCreateKernel",
+    "clCreateProgramWithBinary",
+    "clEnqueueBarrier",
+    "clEnqueueCopyBuffer",
+    "clEnqueueMarker",
+    "clEnqueueNDRangeKernel",
+    "clEnqueueReadBuffer",
+    "clEnqueueTask",
+    "clEnqueueWriteBuffer",
+    "clFinish",
+    "clFlush",
+    "clGetDeviceIDs",
+    "clGetDeviceInfo",
+    "clGetEventInfo",
+    "clGetEventProfilingInfo",
+    "clGetPlatformInfo",
+    "clReleaseCommandQueue",
+    "clReleaseContext",
+    "clReleaseMemObject",
+    "clSetKernelArg",
+    "clWaitForEvents",
+]
+
+
+# -- discovery ---------------------------------------------------------------
+
+def clGetDeviceIDs(platform: Platform,
+                   device_type: DeviceType = DeviceType.ALL) -> list[Device]:
+    return platform.get_devices(device_type)
+
+
+def clGetPlatformInfo(platform: Platform, param: PlatformInfo) -> str:
+    return platform.get_info(param)
+
+
+def clGetDeviceInfo(device: Device, param: DeviceInfo):
+    return device.get_info(param)
+
+
+# -- context & resources ------------------------------------------------------
+
+def clCreateContext(devices: Sequence[Device]) -> Context:
+    return Context(devices)
+
+
+def clCreateCommandQueue(
+    context: Context,
+    device: Optional[Device] = None,
+    properties: QueueProperties = QueueProperties.PROFILING_ENABLE,
+) -> CommandQueue:
+    return context.create_queue(device, properties)
+
+
+def clCreateBuffer(context: Context, flags: MemFlags, size: int,
+                   host_ptr: Optional[bytes] = None) -> MemBuffer:
+    return context.create_buffer(size, flags, host_ptr)
+
+
+def clCreateProgramWithBinary(context: Context, binary_name: str) -> Program:
+    return context.create_program(binary_name)
+
+
+def clBuildProgram(program: Program):
+    """Process: build (may reconfigure the board)."""
+    yield from program.build()
+    return program
+
+
+def clCreateKernel(program: Program, name: str) -> Kernel:
+    return program.create_kernel(name)
+
+
+def clSetKernelArg(kernel: Kernel, index: int, value: Any) -> None:
+    kernel.set_arg(index, value)
+
+
+# -- command queue ------------------------------------------------------------
+
+def clEnqueueWriteBuffer(queue: CommandQueue, buffer: MemBuffer,
+                         blocking: bool, offset: int, size: int,
+                         ptr, wait_for: Sequence[CLEvent] = ()):
+    """Non-blocking: returns the event.  Blocking: a process to drive."""
+    if not blocking:
+        return queue.enqueue_write_buffer(buffer, ptr, size, offset,
+                                          wait_for)
+    return queue.write_buffer(buffer, ptr, size, offset)
+
+
+def clEnqueueReadBuffer(queue: CommandQueue, buffer: MemBuffer,
+                        blocking: bool, offset: int, size: int,
+                        wait_for: Sequence[CLEvent] = ()):
+    """Non-blocking: returns the event (value = bytes).  Blocking: process
+    returning the bytes."""
+    if not blocking:
+        return queue.enqueue_read_buffer(buffer, size, offset, wait_for)
+    return queue.read_buffer(buffer, size, offset)
+
+
+def clEnqueueCopyBuffer(queue: CommandQueue, src: MemBuffer, dst: MemBuffer,
+                        src_offset: int = 0, dst_offset: int = 0,
+                        size: Optional[int] = None,
+                        wait_for: Sequence[CLEvent] = ()) -> CLEvent:
+    return queue.enqueue_copy_buffer(src, dst, size, src_offset, dst_offset,
+                                     wait_for)
+
+
+def clEnqueueNDRangeKernel(queue: CommandQueue, kernel: Kernel,
+                           global_size: Optional[tuple] = (1,),
+                           wait_for: Sequence[CLEvent] = ()) -> CLEvent:
+    return queue.enqueue_kernel(kernel, global_size, wait_for)
+
+
+def clEnqueueTask(queue: CommandQueue, kernel: Kernel,
+                  wait_for: Sequence[CLEvent] = ()) -> CLEvent:
+    return queue.enqueue_kernel(kernel, None, wait_for)
+
+
+def clEnqueueMarker(queue: CommandQueue) -> CLEvent:
+    return queue.enqueue_marker()
+
+
+def clEnqueueBarrier(queue: CommandQueue) -> CLEvent:
+    return queue.enqueue_barrier()
+
+
+def clFlush(queue: CommandQueue) -> None:
+    queue.flush()
+
+
+def clFinish(queue: CommandQueue):
+    """Process: drain the queue."""
+    yield from queue.finish()
+
+
+# -- events --------------------------------------------------------------------
+
+def clWaitForEvents(events: Sequence[CLEvent]):
+    """Simulation event to yield on (all listed events complete)."""
+    return wait_for_events(events)
+
+
+def clGetEventInfo(event: CLEvent) -> int:
+    """CL_EVENT_COMMAND_EXECUTION_STATUS."""
+    return event.status
+
+
+def clGetEventProfilingInfo(event: CLEvent, param: ProfilingInfo) -> float:
+    return event.get_profiling_info(param)
+
+
+# -- release -------------------------------------------------------------------
+
+def clReleaseMemObject(buffer: MemBuffer) -> None:
+    buffer.release()
+
+
+def clReleaseCommandQueue(queue: CommandQueue) -> None:
+    queue.release()
+
+
+def clReleaseContext(context: Context) -> None:
+    context.release()

@@ -1,0 +1,63 @@
+"""OpenCL error codes and the exception type that carries them.
+
+A small but faithful subset of ``CL/cl.h``: the numeric values match the
+specification so host code (and tests) can assert on them exactly as they
+would against a vendor runtime.
+"""
+
+from __future__ import annotations
+
+CL_SUCCESS = 0
+CL_DEVICE_NOT_FOUND = -1
+CL_DEVICE_NOT_AVAILABLE = -2
+CL_MEM_OBJECT_ALLOCATION_FAILURE = -4
+CL_OUT_OF_RESOURCES = -5
+CL_OUT_OF_HOST_MEMORY = -6
+CL_PROFILING_INFO_NOT_AVAILABLE = -7
+CL_BUILD_PROGRAM_FAILURE = -11
+CL_INVALID_VALUE = -30
+CL_INVALID_DEVICE_TYPE = -31
+CL_INVALID_PLATFORM = -32
+CL_INVALID_DEVICE = -33
+CL_INVALID_CONTEXT = -34
+CL_INVALID_QUEUE_PROPERTIES = -35
+CL_INVALID_COMMAND_QUEUE = -36
+CL_INVALID_MEM_OBJECT = -38
+CL_INVALID_BINARY = -42
+CL_INVALID_PROGRAM = -44
+CL_INVALID_PROGRAM_EXECUTABLE = -45
+CL_INVALID_KERNEL_NAME = -46
+CL_INVALID_KERNEL = -48
+CL_INVALID_ARG_INDEX = -49
+CL_INVALID_ARG_VALUE = -50
+CL_INVALID_KERNEL_ARGS = -52
+CL_INVALID_EVENT_WAIT_LIST = -57
+CL_INVALID_EVENT = -58
+CL_INVALID_BUFFER_SIZE = -61
+CL_INVALID_OPERATION = -59
+
+_ERROR_NAMES = {
+    value: name
+    for name, value in list(globals().items())
+    if name.startswith("CL_") and isinstance(value, int)
+}
+
+
+def error_name(code: int) -> str:
+    """Symbolic name for an error code (e.g. ``CL_INVALID_VALUE``)."""
+    return _ERROR_NAMES.get(code, f"UNKNOWN_CL_ERROR({code})")
+
+
+class CLError(Exception):
+    """An OpenCL error, carrying its numeric status code."""
+
+    def __init__(self, code: int, message: str = ""):
+        self.code = code
+        detail = f": {message}" if message else ""
+        super().__init__(f"{error_name(code)}{detail}")
+
+
+def check(condition: bool, code: int, message: str = "") -> None:
+    """Raise :class:`CLError` with ``code`` unless ``condition`` holds."""
+    if not condition:
+        raise CLError(code, message)

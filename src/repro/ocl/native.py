@@ -1,0 +1,259 @@
+"""Native driver: the vendor OpenCL runtime against a local board.
+
+This models the paper's "Native" baseline: the application links the Intel
+FPGA OpenCL runtime and talks to the board over PCIe with no intermediaries.
+Each command queue gets a driver worker process that executes commands
+in order directly on the :class:`~repro.fpga.board.FPGABoard`.
+
+Two overhead knobs reproduce the paper's measurement conditions:
+
+* ``launch_overhead`` — per-command driver processing (tens of µs);
+* ``sync_overhead`` — host-side cost of returning from a *blocking* call.
+  In the quiescent single-client microbenchmarks of Fig. 4 (200 ms between
+  calls) this is tens of µs; under the containerized serverless load of
+  Tables II–IV the vendor runtime's polling/completion path contends with
+  the HTTP stack on the 4-core nodes and the per-blocking-call cost rises to
+  milliseconds.  The experiment harnesses toggle :attr:`NativeDriver.loaded`
+  accordingly (see EXPERIMENTS.md for the calibration discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..fpga.bitstream import Bitstream, BitstreamLibrary
+from ..fpga.board import FPGABoard
+from ..fpga.ddr import OutOfMemoryError
+from ..fpga.hwspec import HOST_I7_6700, HostSpec
+from ..sim import Environment, Interrupt, Store
+from .errors import (
+    CLError,
+    CL_INVALID_BINARY,
+    CL_INVALID_KERNEL_ARGS,
+    CL_INVALID_KERNEL_NAME,
+    CL_INVALID_PROGRAM_EXECUTABLE,
+    CL_INVALID_VALUE,
+    CL_MEM_OBJECT_ALLOCATION_FAILURE,
+)
+from .objects import Command, CommandQueue, Driver, MemBuffer, Platform
+from .types import CommandType, DeviceType, ExecutionStatus
+
+
+@dataclass(frozen=True)
+class NativeDriverProfile:
+    """Timing profile of the vendor runtime's host paths.
+
+    ``*_idle`` values hold in the quiescent single-client conditions of the
+    Fig. 4 microbenchmarks (the paper waits 200 ms between calls).
+    ``*_loaded`` values hold under the containerized serverless load of
+    Tables II–IV, where the runtime's command submission and its
+    blocking-call completion path (polling thread + mutex handoff) contend
+    with the HTTP stack on the 4-core nodes.  ``sync_overhead_loaded`` is
+    the one fitted constant of this reproduction (see EXPERIMENTS.md);
+    everything else follows from Fig. 4.
+    """
+
+    launch_overhead: float = 30e-6
+    launch_overhead_loaded: float = 0.15e-3
+    sync_overhead_idle: float = 60e-6
+    sync_overhead_loaded: float = 4.8e-3
+
+
+class NativeDriver(Driver):
+    """Direct vendor-runtime access to one local FPGA board."""
+
+    def __init__(
+        self,
+        env: Environment,
+        board: FPGABoard,
+        library: BitstreamLibrary,
+        profile: NativeDriverProfile = NativeDriverProfile(),
+        host: HostSpec = HOST_I7_6700,
+    ):
+        self.env = env
+        self.board = board
+        self.library = library
+        self.profile = profile
+        self.host = host
+        #: True while the node is under serverless load (see module docs).
+        self.loaded = False
+        self._queues: Dict[int, tuple] = {}
+
+    # -- info ---------------------------------------------------------------
+    def platform_info(self) -> Dict[str, str]:
+        return {
+            "name": "Intel(R) FPGA SDK for OpenCL(TM)",
+            "vendor": "Intel(R) Corporation",
+            "version": "OpenCL 1.2",
+        }
+
+    def device_info(self) -> Dict[str, object]:
+        return {
+            "name": f"{self.board.spec.name} ({self.board.spec.fpga})",
+            "type": DeviceType.ACCELERATOR,
+            "global_mem_size": self.board.spec.memory_bytes,
+            "vendor": "Intel(R) Corporation",
+        }
+
+    def host_sync_delay(self) -> float:
+        base = (
+            self.profile.sync_overhead_loaded
+            if self.loaded
+            else self.profile.sync_overhead_idle
+        )
+        return base * self.host.speed_factor
+
+    def launch_delay(self) -> float:
+        base = (
+            self.profile.launch_overhead_loaded
+            if self.loaded
+            else self.profile.launch_overhead
+        )
+        return base * self.host.speed_factor
+
+    # -- control plane -----------------------------------------------------
+    def create_buffer(self, buffer: MemBuffer) -> None:
+        try:
+            buffer.handle = self.board.allocate(buffer.size)
+        except OutOfMemoryError as exc:
+            raise CLError(CL_MEM_OBJECT_ALLOCATION_FAILURE, str(exc)) from exc
+        if buffer._init_data is not None and self.board.functional:
+            buffer.handle.write(buffer._init_data)
+
+    def release_buffer(self, buffer: MemBuffer) -> None:
+        if buffer.handle is not None and not buffer.handle.freed:
+            self.board.free(buffer.handle)
+
+    def kernel_arg_count(self, kernel) -> int:
+        bitstream = self._bitstream(kernel.program.binary_name)
+        try:
+            return len(bitstream.kernel(kernel.name).args)
+        except KeyError as exc:
+            raise CLError(CL_INVALID_KERNEL_NAME, str(exc)) from exc
+
+    def _bitstream(self, name: str) -> Bitstream:
+        try:
+            return self.library.get(name)
+        except KeyError as exc:
+            raise CLError(CL_INVALID_BINARY, str(exc)) from exc
+
+    # -- programming ----------------------------------------------------------
+    def build_program(self, program):
+        """Process: reconfigure the board unless already configured."""
+        bitstream = self._bitstream(program.binary_name)
+        if self.board.bitstream is not bitstream:
+            yield from self.board.program(bitstream)
+        return program
+
+    # -- command plane ----------------------------------------------------------
+    def create_queue(self, queue: CommandQueue) -> None:
+        store: Store = Store(self.env)
+        worker = self.env.process(self._worker(store))
+        self._queues[queue.id] = (store, worker)
+
+    def release_queue(self, queue: CommandQueue) -> None:
+        entry = self._queues.pop(queue.id, None)
+        if entry is not None:
+            _store, worker = entry
+            if worker.is_alive:
+                worker.interrupt("queue released")
+
+    def enqueue(self, queue: CommandQueue, command: Command) -> None:
+        store, _worker = self._queues[queue.id]
+        store.put(command)
+
+    def flush(self, queue: CommandQueue) -> None:
+        # The native worker drains continuously; flush is a no-op.
+        queue._check_live()
+
+    def close(self) -> None:
+        for _store, worker in self._queues.values():
+            if worker.is_alive:
+                worker.interrupt("driver closed")
+        self._queues.clear()
+
+    # -- worker --------------------------------------------------------------
+    def _worker(self, store: Store):
+        """In-order executor for one command queue."""
+        try:
+            while True:
+                command: Command = yield store.get()
+                event = command.event
+                event.set_status(ExecutionStatus.SUBMITTED)
+                try:
+                    for dependency in command.wait_for:
+                        yield dependency.completion
+                except CLError as exc:
+                    event.fail(exc)
+                    continue
+                if command.type in (CommandType.MARKER, CommandType.BARRIER):
+                    # In-order queue: reaching the marker means all prior
+                    # commands completed.
+                    event.set_status(ExecutionStatus.RUNNING)
+                    event.complete()
+                    continue
+                yield self.env.timeout(self.launch_delay())
+                event.set_status(ExecutionStatus.RUNNING)
+                try:
+                    result = yield from self._execute(command)
+                except CLError as exc:
+                    event.fail(exc)
+                except (ValueError, KeyError, RuntimeError) as exc:
+                    event.fail(CLError(CL_INVALID_VALUE, str(exc)))
+                else:
+                    event.complete(result)
+        except Interrupt:
+            return
+
+    def _execute(self, command: Command):
+        """Process: run one command on the board; returns its result."""
+        if command.type is CommandType.WRITE_BUFFER:
+            assert command.buffer is not None
+            yield from self.board.dma_write(
+                command.buffer.handle, command.nbytes, command.data,
+                command.offset,
+            )
+            return None
+        if command.type is CommandType.READ_BUFFER:
+            assert command.buffer is not None
+            data = yield from self.board.dma_read(
+                command.buffer.handle, command.nbytes, command.offset
+            )
+            return data
+        if command.type is CommandType.COPY_BUFFER:
+            assert command.buffer is not None
+            assert command.dst_buffer is not None
+            yield from self.board.copy_on_device(
+                command.buffer.handle, command.dst_buffer.handle,
+                command.nbytes, command.offset, command.dst_offset,
+            )
+            return None
+        if command.type in (CommandType.NDRANGE_KERNEL, CommandType.TASK):
+            assert command.kernel is not None
+            if not command.kernel.program.built:
+                raise CLError(CL_INVALID_PROGRAM_EXECUTABLE,
+                              "program not built")
+            args = [
+                value.handle if isinstance(value, MemBuffer) else value
+                for value in (command.kernel_args or [])
+            ]
+            try:
+                duration = yield from self.board.execute(
+                    command.kernel.name, args
+                )
+            except (ValueError, KeyError) as exc:
+                raise CLError(CL_INVALID_KERNEL_ARGS, str(exc)) from exc
+            return duration
+        raise CLError(CL_INVALID_VALUE, f"unsupported command {command.type}")
+
+
+def native_platform(
+    env: Environment,
+    board: FPGABoard,
+    library: BitstreamLibrary,
+    profile: NativeDriverProfile = NativeDriverProfile(),
+    host: HostSpec = HOST_I7_6700,
+) -> Platform:
+    """Build the native platform for a local board (the paper's baseline)."""
+    return Platform(NativeDriver(env, board, library, profile, host))

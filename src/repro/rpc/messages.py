@@ -1,0 +1,135 @@
+"""Control-plane messaging: endpoints, messages, unary calls.
+
+The components of BlastFunction talk gRPC for control.  Here a *message* is
+delivered into the destination endpoint's inbox after the transport's
+control latency; unary request/response is built from two one-way messages.
+The convention mirrors gRPC's asynchronous completion-queue API, which is
+exactly what the paper's Remote OpenCL Library builds its event state
+machines on (a *tag* identifying the waiting operation travels with each
+request and returns with its response).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, Optional
+
+from ..sim import Environment, Event, Store
+from .transport import Transport
+
+_message_ids = count(1)
+
+
+class RpcError(RuntimeError):
+    """A failed remote call (the server answered with an error)."""
+
+
+@dataclass
+class Message:
+    """One control message."""
+
+    method: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    sender: str = ""
+    #: Completion-queue tag: opaque client-side identity (e.g. a pointer to
+    #: the Remote Library event driving this call).
+    tag: Any = None
+    #: For unary calls: the simulation event the reply will trigger.
+    reply_to: Optional[Event] = None
+    id: int = field(default_factory=lambda: next(_message_ids))
+
+
+class RpcEndpoint:
+    """A named service endpoint with an inbox of delivered messages."""
+
+    def __init__(self, env: Environment, name: str):
+        self.env = env
+        self.name = name
+        self.inbox: Store = Store(env)
+        self.delivered = 0
+
+    def deliver(self, message: Message) -> None:
+        """Place a message in the inbox (after transport delay)."""
+        self.inbox.put(message)
+        self.delivered += 1
+
+    def __repr__(self) -> str:
+        return f"<RpcEndpoint {self.name}>"
+
+
+def send_to_server(transport: Transport, endpoint: RpcEndpoint,
+                   message: Message):
+    """Process: deliver a client→server control message."""
+    yield from transport.control_to_server()
+    endpoint.deliver(message)
+
+
+def send_to_client(transport: Transport, endpoint: RpcEndpoint,
+                   message: Message):
+    """Process: deliver a server→client control message."""
+    yield from transport.control_to_client()
+    endpoint.deliver(message)
+
+
+class RpcTimeout(RpcError):
+    """A unary call was not answered within its deadline."""
+
+
+def unary_call(
+    transport: Transport,
+    endpoint: RpcEndpoint,
+    method: str,
+    payload: Optional[Dict[str, Any]] = None,
+    sender: str = "",
+    timeout: Optional[float] = None,
+):
+    """Process: synchronous request/response against a server endpoint.
+
+    The server is expected to answer via :func:`reply`.  Raises
+    :class:`RpcError` if the server replies with an error and
+    :class:`RpcTimeout` if no reply arrives within ``timeout`` seconds
+    (gRPC deadline semantics; ``None`` waits forever).
+    """
+    env = transport.env
+    response = env.event()
+    message = Message(
+        method=method, payload=dict(payload or {}), sender=sender,
+        reply_to=response,
+    )
+    yield from transport.control_to_server()
+    endpoint.deliver(message)
+    if timeout is None:
+        result = yield response
+        return result
+    deadline = env.timeout(timeout)
+    from ..sim import AnyOf
+
+    yield AnyOf(env, [response, deadline])
+    if not response.triggered:
+        # Late replies (including late errors) must not crash the
+        # abandoned caller.
+        response.defused = True
+        raise RpcTimeout(f"{method} deadline of {timeout}s exceeded")
+    if not response.ok:
+        raise response.value
+    return response.value
+
+
+def reply(transport: Transport, message: Message, value: Any = None):
+    """Process: answer a unary call (server side)."""
+    if message.reply_to is None:
+        raise ValueError(f"message {message.method!r} expects no reply")
+    yield from transport.control_to_client()
+    message.reply_to.succeed(value)
+
+
+def reply_error(transport: Transport, message: Message,
+                error: Exception):
+    """Process: answer a unary call with a failure."""
+    if message.reply_to is None:
+        raise ValueError(f"message {message.method!r} expects no reply")
+    yield from transport.control_to_client()
+    if not isinstance(error, RpcError):
+        error = RpcError(str(error))
+    message.reply_to.fail(error)

@@ -1,0 +1,33 @@
+"""OpenFaaS-model serverless substrate: gateway, instances, controller and
+the paper's three accelerated cloud functions."""
+
+from .apps import AlexNetApp, FunctionApp, MMApp, SobelApp
+from .autoscaler import FunctionAutoscaler, FunctionAutoscalerPolicy
+from .controller import FunctionController
+from .gateway import (
+    GATEWAY_OVERHEAD,
+    DeployedFunction,
+    FunctionSpec,
+    Gateway,
+    InvocationError,
+    Request,
+)
+from .instance import FunctionInstance, InstanceStartupError
+
+__all__ = [
+    "AlexNetApp",
+    "DeployedFunction",
+    "FunctionApp",
+    "FunctionAutoscaler",
+    "FunctionAutoscalerPolicy",
+    "FunctionController",
+    "FunctionInstance",
+    "FunctionSpec",
+    "GATEWAY_OVERHEAD",
+    "Gateway",
+    "InstanceStartupError",
+    "InvocationError",
+    "MMApp",
+    "Request",
+    "SobelApp",
+]

@@ -1,0 +1,120 @@
+"""Function-replica autoscaling (the Gateway's OpenFaaS role).
+
+Section III of the paper: the Gateway "forwards the requests to the
+functions and handles autoscaling".  This controller scales each deployed
+function's replica count on queue pressure: replicas share the function's
+endpoint queue, so added instances start draining it immediately, and the
+Accelerators Registry allocates every new instance a device through
+Algorithm 1 exactly as it does at first deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cluster.apiserver import Cluster
+from ..cluster.objects import PodSpec
+from ..sim import Environment, Interrupt
+from .gateway import DeployedFunction, Gateway
+
+
+@dataclass(frozen=True)
+class FunctionAutoscalerPolicy:
+    """When to add/remove replicas."""
+
+    #: Scale up when the endpoint queue holds at least this many requests.
+    queue_threshold: int = 2
+    #: Evaluation period, seconds.
+    interval: float = 2.0
+    #: Per-function replica bounds.
+    min_replicas: int = 1
+    max_replicas: int = 5
+    #: Minimum time between scaling actions per function, seconds.
+    cooldown: float = 10.0
+    #: Consecutive idle evaluations before scaling down.
+    idle_periods: int = 5
+
+
+class FunctionAutoscaler:
+    """Scales function replicas on endpoint queue depth."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        gateway: Gateway,
+        policy: FunctionAutoscalerPolicy = FunctionAutoscalerPolicy(),
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.gateway = gateway
+        self.policy = policy
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._last_action: Dict[str, float] = {}
+        self._idle_streak: Dict[str, int] = {}
+        self._process = env.process(self._run())
+
+    def replicas(self, function_name: str) -> int:
+        return len(self.gateway.function(function_name).pod_names)
+
+    def stop(self) -> None:
+        if self._process.is_alive:
+            self._process.interrupt("function autoscaler stopped")
+
+    # -- control loop -------------------------------------------------------
+    def _run(self):
+        try:
+            while True:
+                yield self.env.timeout(self.policy.interval)
+                for function in list(self.gateway.functions.values()):
+                    yield from self._evaluate(function)
+        except Interrupt:
+            return
+
+    def _evaluate(self, function: DeployedFunction):
+        name = function.spec.name
+        now = self.env.now
+        depth = len(function.request_queue.items)
+        replicas = len(function.pod_names)
+
+        if depth == 0:
+            self._idle_streak[name] = self._idle_streak.get(name, 0) + 1
+        else:
+            self._idle_streak[name] = 0
+
+        if now - self._last_action.get(name, -1e9) < self.policy.cooldown:
+            return
+
+        if (depth >= self.policy.queue_threshold
+                and replicas < self.policy.max_replicas):
+            self._last_action[name] = now
+            yield from self._scale_up(function)
+        elif (self._idle_streak.get(name, 0) >= self.policy.idle_periods
+                and replicas > max(self.policy.min_replicas,
+                                   function.spec.replicas)):
+            self._last_action[name] = now
+            self._scale_down(function)
+
+    def _scale_up(self, function: DeployedFunction):
+        pod_name = function.next_instance_name()
+        spec = PodSpec(
+            name=pod_name,
+            function=function.spec.name,
+            device_query=function.spec.device_query,
+            node_name=function.spec.node_name,
+            labels={"runtime": function.spec.runtime, "autoscaled": "true"},
+        )
+        pod = yield from self.cluster.create_pod(spec)
+        function.pod_names.append(pod.name)
+        self.scale_ups += 1
+
+    def _scale_down(self, function: DeployedFunction) -> None:
+        # Retire the newest autoscaled replica.
+        for pod_name in reversed(function.pod_names):
+            pod = self.cluster.pods.get(pod_name)
+            if pod is not None and pod.spec.labels.get("autoscaled"):
+                self.cluster.delete_pod(pod_name)
+                self.scale_downs += 1
+                return

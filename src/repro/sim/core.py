@@ -1,0 +1,265 @@
+"""Scheduler and process machinery of the discrete-event simulation kernel.
+
+The :class:`Environment` owns the virtual clock and the event queue.
+:class:`Process` wraps a generator and resumes it whenever the event it
+yielded triggers.  Time is a ``float`` in **seconds**; all latency constants
+elsewhere in the package (PCIe transfers, gRPC round trips, kernel execution
+times) are expressed in seconds as well.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from .events import (
+    NORMAL,
+    URGENT,
+    Event,
+    Initialize,
+    Interrupt,
+    SimError,
+    Timeout,
+)
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class EmptySchedule(SimError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A discrete-event simulation environment with a virtual clock.
+
+    Example
+    -------
+    >>> env = Environment()
+    >>> def proc(env):
+    ...     yield env.timeout(1.5)
+    ...     return "done"
+    >>> p = env.process(proc(env))
+    >>> env.run()
+    >>> env.now
+    1.5
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional["Process"]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- event factories --------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> "Process":
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> Event:
+        from .events import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events) -> Event:
+        from .events import AnyOf
+
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Enqueue ``event`` to be processed after ``delay`` seconds."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next scheduled event, advancing the clock."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+
+        if event._ok is False and not event.defused:
+            # Nobody handled this failure: surface it to the caller of run().
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a time
+        (run up to that time), or an :class:`Event` (run until it triggers,
+        returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                return stop_event.value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until ({stop_time}) must not be before now ({self._now})"
+                )
+
+        stopped = False
+        result: Any = None
+
+        if stop_event is not None:
+
+            def _stop(event: Event) -> None:
+                nonlocal stopped, result
+                stopped = True
+                result = event._value
+                if not event._ok:
+                    event.defused = True
+
+            stop_event.callbacks.append(_stop)
+
+        while True:
+            if stopped:
+                if stop_event is not None and not stop_event.ok:
+                    raise result
+                return result
+            nxt = self.peek()
+            if nxt == float("inf"):
+                if stop_event is not None:
+                    raise SimError("simulation ended before the awaited event")
+                return None
+            if stop_time is not None and nxt > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process *is* an event: it triggers when the wrapped generator returns
+    (with the return value) or raises (as a failure).  Other processes can
+    therefore ``yield`` a process to join it.
+    """
+
+    def __init__(self, env: Environment, generator: ProcessGenerator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._ok is None
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The interrupt is delivered asynchronously (as an urgent event) so the
+        interrupting process keeps running first.
+        """
+        if not self.is_alive:
+            raise SimError("cannot interrupt a finished process")
+        if self is self.env.active_process:
+            raise SimError("a process cannot interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+        # Detach from the event we were waiting on so a later trigger of that
+        # event does not resume us twice.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            # Withdraw cancellable waits (store gets, resource requests) so
+            # a dead waiter never swallows an item or holds a queue slot.
+            cancel = getattr(self._target, "cancel", None)
+            if callable(cancel) and not self._target.triggered:
+                cancel()
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the value (or failure) of ``event``."""
+        self.env._active_proc = self
+        self._target = None
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        next_event = self._generator.send(event._value)
+                    else:
+                        event.defused = True
+                        next_event = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    self.env.schedule(self, priority=NORMAL)
+                    break
+                except BaseException as exc:
+                    self._ok = False
+                    self._value = exc
+                    self.env.schedule(self, priority=NORMAL)
+                    break
+
+                if not isinstance(next_event, Event):
+                    exc = RuntimeError(
+                        f"process yielded a non-event: {next_event!r}"
+                    )
+                    self._ok = False
+                    self._value = exc
+                    self.env.schedule(self, priority=NORMAL)
+                    break
+
+                if next_event.callbacks is not None:
+                    # Not yet processed: wait for it.
+                    next_event.callbacks.append(self._resume)
+                    self._target = next_event
+                    break
+                # Already processed: loop and resume immediately with it.
+                event = next_event
+        finally:
+            self.env._active_proc = None

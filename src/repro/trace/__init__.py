@@ -1,0 +1,23 @@
+"""Execution tracing and Chrome/Perfetto export for simulation runs."""
+
+from .attach import (
+    attach_board,
+    attach_gateway,
+    attach_manager,
+    attach_testbed,
+)
+from .chrome import to_chrome_events, to_chrome_json, write_chrome_trace
+from .tracer import Instant, Span, Tracer
+
+__all__ = [
+    "Instant",
+    "Span",
+    "Tracer",
+    "attach_board",
+    "attach_gateway",
+    "attach_manager",
+    "attach_testbed",
+    "to_chrome_events",
+    "to_chrome_json",
+    "write_chrome_trace",
+]

@@ -1,0 +1,87 @@
+"""Tracer adapters: hook a Tracer into live components.
+
+Each ``attach_*`` function subscribes to a component's existing listener
+hooks; no component logic changes.  Attach before the workload runs.
+"""
+
+from __future__ import annotations
+
+from ..core.device_manager.manager import DeviceManager
+from ..core.device_manager.tasks import Operation, Task
+from ..fpga.board import FPGABoard
+from ..serverless.gateway import Gateway
+from .tracer import Tracer
+
+
+def attach_board(tracer: Tracer, board: FPGABoard) -> None:
+    """Trace every busy interval of a board (dma/kernel/reconfigure)."""
+
+    def on_busy(seconds: float, activity: str) -> None:
+        now = tracer.env.now
+        tracer.span(activity, activity, board.name, now - seconds, now)
+
+    board.add_busy_listener(on_busy)
+
+
+def attach_manager(tracer: Tracer, manager: DeviceManager) -> None:
+    """Trace a Device Manager's operations and tasks."""
+
+    def on_op(operation: Operation) -> None:
+        if operation.started_at is None or operation.finished_at is None:
+            return
+        tracer.span(
+            f"op:{operation.type.value}",
+            f"{operation.type.value}#{operation.tag}",
+            manager.name,
+            operation.started_at,
+            operation.finished_at,
+            client=operation.client,
+            nbytes=operation.nbytes,
+        )
+
+    def on_task(task: Task) -> None:
+        if task.started_at is None or task.finished_at is None:
+            return
+        tracer.span(
+            "task", f"task#{task.id}", manager.name,
+            task.started_at, task.finished_at,
+            client=task.client, ops=len(task.operations),
+            queued=(task.started_at - task.submitted_at
+                    if task.submitted_at is not None else 0.0),
+        )
+
+    manager.op_listeners.append(on_op)
+    manager.task_listeners.append(on_task)
+
+
+def attach_gateway(tracer: Tracer, gateway: Gateway) -> None:
+    """Trace request lifecycles through the gateway.
+
+    Wraps :meth:`Gateway.invoke`, so attach before handing the gateway to
+    load generators.
+    """
+    original_invoke = gateway.invoke
+
+    def traced_invoke(function_name, payload=None):
+        start = tracer.env.now
+        try:
+            latency, result = yield from original_invoke(
+                function_name, payload
+            )
+        except Exception:
+            tracer.instant("request-error", function_name, "gateway")
+            raise
+        tracer.span("request", function_name, "gateway", start,
+                    latency=latency)
+        return latency, result
+
+    gateway.invoke = traced_invoke
+
+
+def attach_testbed(tracer: Tracer, testbed) -> None:
+    """Trace every board and Device Manager of a testbed."""
+    for node in testbed.cluster.nodes.values():
+        if node.board is not None:
+            attach_board(tracer, node.board)
+    for manager in testbed.managers.values():
+        attach_manager(tracer, manager)

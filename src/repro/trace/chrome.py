@@ -1,0 +1,73 @@
+"""Chrome/Perfetto trace export.
+
+Converts a :class:`~repro.trace.tracer.Tracer`'s spans and instants into
+the Trace Event JSON format, loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev — one process row per actor, one thread row per
+category.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .tracer import Tracer
+
+#: Simulated seconds → trace microseconds.
+_US = 1e6
+
+
+def to_chrome_events(tracer: Tracer) -> list:
+    """Build the ``traceEvents`` list."""
+    actor_pids: Dict[str, int] = {}
+    category_tids: Dict[tuple, int] = {}
+
+    def pid_of(actor: str) -> int:
+        return actor_pids.setdefault(actor, len(actor_pids) + 1)
+
+    def tid_of(actor: str, category: str) -> int:
+        key = (actor, category)
+        return category_tids.setdefault(key, len(category_tids) + 1)
+
+    events = []
+    for actor in sorted({s.actor for s in tracer.spans}
+                        | {i.actor for i in tracer.instants}):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid_of(actor),
+            "args": {"name": actor},
+        })
+    for span in tracer.spans:
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category,
+            "pid": pid_of(span.actor),
+            "tid": tid_of(span.actor, span.category),
+            "ts": span.start * _US,
+            "dur": span.duration * _US,
+            "args": dict(span.args),
+        })
+    for instant in tracer.instants:
+        events.append({
+            "ph": "i",
+            "name": instant.name,
+            "cat": instant.category,
+            "pid": pid_of(instant.actor),
+            "tid": tid_of(instant.actor, instant.category),
+            "ts": instant.time * _US,
+            "s": "t",
+            "args": dict(instant.args),
+        })
+    return events
+
+
+def to_chrome_json(tracer: Tracer, indent: int | None = None) -> str:
+    """Serialize the full trace document."""
+    return json.dumps({"traceEvents": to_chrome_events(tracer),
+                       "displayTimeUnit": "ms"}, indent=indent)
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write the trace to ``path`` (open in chrome://tracing / Perfetto)."""
+    with open(path, "w") as f:
+        f.write(to_chrome_json(tracer))

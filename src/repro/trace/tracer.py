@@ -1,0 +1,148 @@
+"""Execution tracing: spans, counters and analysis over a simulation run.
+
+A :class:`Tracer` collects *spans* (named intervals attributed to an actor,
+e.g. ``fpga-B / kernel`` or ``dm-A / task``) and *instants*.  Adapters in
+:mod:`repro.trace.attach` hook the tracer into boards, Device Managers and
+gateways without touching their logic; :mod:`repro.trace.chrome` exports
+everything to the Chrome ``about://tracing`` / Perfetto JSON format.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..sim import Environment
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced interval."""
+
+    category: str        # e.g. "kernel", "dma", "task", "request"
+    name: str            # e.g. "sobel", "task#42", "sobel-1"
+    actor: str           # resource/track, e.g. "fpga-B", "dm-A"
+    start: float
+    end: float
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def arg(self, key: str, default: Any = None) -> Any:
+        for k, v in self.args:
+            if k == key:
+                return v
+        return default
+
+
+@dataclass(frozen=True)
+class Instant:
+    """One traced point event."""
+
+    category: str
+    name: str
+    actor: str
+    time: float
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+
+class Tracer:
+    """Collects spans and instants during a simulation."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.enabled = True
+
+    # -- recording ---------------------------------------------------------
+    def span(self, category: str, name: str, actor: str, start: float,
+             end: Optional[float] = None, **args: Any) -> None:
+        """Record a completed interval (``end`` defaults to *now*)."""
+        if not self.enabled:
+            return
+        if end is None:
+            end = self.env.now
+        if end < start:
+            raise ValueError(f"span ends before it starts ({start}→{end})")
+        self.spans.append(Span(category, name, actor, start, end,
+                               tuple(sorted(args.items()))))
+
+    def instant(self, category: str, name: str, actor: str,
+                time: Optional[float] = None, **args: Any) -> None:
+        """Record a point event (``time`` defaults to *now*)."""
+        if not self.enabled:
+            return
+        if time is None:
+            time = self.env.now
+        self.instants.append(Instant(category, name, actor, time,
+                                     tuple(sorted(args.items()))))
+
+    # -- queries ---------------------------------------------------------------
+    def by_category(self, category: str) -> List[Span]:
+        return [span for span in self.spans if span.category == category]
+
+    def by_actor(self, actor: str) -> List[Span]:
+        return [span for span in self.spans if span.actor == actor]
+
+    def actors(self) -> List[str]:
+        return sorted({span.actor for span in self.spans}
+                      | {inst.actor for inst in self.instants})
+
+    def total_time(self, category: str, actor: Optional[str] = None) -> float:
+        """Sum of span durations in a category (optionally one actor)."""
+        return sum(
+            span.duration
+            for span in self.spans
+            if span.category == category
+            and (actor is None or span.actor == actor)
+        )
+
+    def busy_fraction(self, actor: str, start: float, end: float,
+                      categories: Iterable[str] = ("kernel", "dma")) -> float:
+        """Fraction of [start, end) the actor spent in the categories.
+
+        Overlapping spans are merged, so the result is a true occupancy
+        in [0, 1] even when bookkeeping double-counts.
+        """
+        if end <= start:
+            raise ValueError("empty window")
+        wanted = set(categories)
+        intervals = sorted(
+            (max(span.start, start), min(span.end, end))
+            for span in self.spans
+            if span.actor == actor and span.category in wanted
+            and span.end > start and span.start < end
+        )
+        busy = 0.0
+        cursor = start
+        for s, e in intervals:
+            if e <= cursor:
+                continue
+            busy += e - max(s, cursor)
+            cursor = max(cursor, e)
+        return busy / (end - start)
+
+    def timeline(self, actor: str, resolution: float,
+                 categories: Iterable[str] = ("kernel", "dma"),
+                 start: float = 0.0,
+                 end: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Busy fraction per time bucket: [(bucket_start, fraction), ...]."""
+        if end is None:
+            end = self.env.now
+        buckets = []
+        cursor = start
+        while cursor < end:
+            upper = min(cursor + resolution, end)
+            buckets.append(
+                (cursor, self.busy_fraction(actor, cursor, upper,
+                                            categories))
+            )
+            cursor = upper
+        return buckets
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)

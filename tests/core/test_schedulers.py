@@ -1,0 +1,158 @@
+"""Unit tests for the Device Manager task schedulers."""
+
+import pytest
+
+from repro.core.device_manager import (
+    FIFOScheduler,
+    Operation,
+    OpType,
+    PriorityScheduler,
+    SJFScheduler,
+    Task,
+    WFQScheduler,
+    make_scheduler,
+)
+from repro.sim import Environment
+
+
+def make_task(client: str, tag=None) -> Task:
+    task = Task(client, 0)
+    task.append(Operation(type=OpType.MARKER, client=client, queue_id=0,
+                          tag=tag))
+    return task
+
+
+def drain(env, scheduler, n):
+    """Pop n tasks and return their clients in service order."""
+    order = []
+
+    def consumer():
+        for _ in range(n):
+            task = yield scheduler.pop()
+            order.append(task.client)
+
+    env.run(until=env.process(consumer()))
+    return order
+
+
+class TestFactory:
+    def test_make_by_name(self):
+        env = Environment()
+        for name, cls in (("fifo", FIFOScheduler),
+                          ("priority", PriorityScheduler),
+                          ("sjf", SJFScheduler),
+                          ("wfq", WFQScheduler)):
+            assert isinstance(make_scheduler(name, env), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_scheduler("lottery", Environment())
+
+
+class TestFIFO:
+    def test_arrival_order(self):
+        env = Environment()
+        scheduler = FIFOScheduler(env)
+        for client in ("a", "b", "c"):
+            scheduler.push(make_task(client), estimate=1.0)
+        assert len(scheduler) == 3
+        assert drain(env, scheduler, 3) == ["a", "b", "c"]
+
+    def test_pop_blocks_until_push(self):
+        env = Environment()
+        scheduler = FIFOScheduler(env)
+        got = []
+
+        def consumer():
+            task = yield scheduler.pop()
+            got.append((env.now, task.client))
+
+        def producer():
+            yield env.timeout(2.0)
+            scheduler.push(make_task("late"), 1.0)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [(2.0, "late")]
+
+
+class TestPriority:
+    def test_lower_priority_value_first(self):
+        env = Environment()
+        scheduler = PriorityScheduler(env)
+        scheduler.set_client_priority("gold", 0)
+        scheduler.set_client_priority("bronze", 9)
+        scheduler.push(make_task("bronze"), 1.0)
+        scheduler.push(make_task("gold"), 1.0)
+        scheduler.push(make_task("default"), 1.0)  # default priority 10
+        assert drain(env, scheduler, 3) == ["gold", "bronze", "default"]
+
+    def test_weight_maps_to_priority(self):
+        env = Environment()
+        scheduler = PriorityScheduler(env)
+        scheduler.set_client_weight("heavy", 10.0)
+        scheduler.set_client_weight("light", 1.0)
+        scheduler.push(make_task("light"), 1.0)
+        scheduler.push(make_task("heavy"), 1.0)
+        assert drain(env, scheduler, 2) == ["heavy", "light"]
+
+
+class TestSJF:
+    def test_shortest_estimate_first(self):
+        env = Environment()
+        scheduler = SJFScheduler(env)
+        scheduler.push(make_task("long"), estimate=5.0)
+        scheduler.push(make_task("short"), estimate=0.1)
+        scheduler.push(make_task("mid"), estimate=1.0)
+        assert drain(env, scheduler, 3) == ["short", "mid", "long"]
+
+    def test_ties_fifo(self):
+        env = Environment()
+        scheduler = SJFScheduler(env)
+        scheduler.push(make_task("first"), 1.0)
+        scheduler.push(make_task("second"), 1.0)
+        assert drain(env, scheduler, 2) == ["first", "second"]
+
+
+class TestWFQ:
+    def test_weighted_shares(self):
+        """A 3:1 weight split yields ~3:1 service order over a backlog."""
+        env = Environment()
+        scheduler = WFQScheduler(env)
+        scheduler.set_client_weight("big", 3.0)
+        scheduler.set_client_weight("small", 1.0)
+        for _ in range(12):
+            scheduler.push(make_task("big"), estimate=1.0)
+            scheduler.push(make_task("small"), estimate=1.0)
+        order = drain(env, scheduler, 16)
+        big_served = order.count("big")
+        small_served = order.count("small")
+        assert big_served >= 2.0 * small_served
+
+    def test_no_starvation(self):
+        env = Environment()
+        scheduler = WFQScheduler(env)
+        scheduler.set_client_weight("big", 100.0)
+        scheduler.set_client_weight("small", 1.0)
+        for _ in range(50):
+            scheduler.push(make_task("big"), estimate=1.0)
+        scheduler.push(make_task("small"), estimate=1.0)
+        order = drain(env, scheduler, 51)
+        assert "small" in order
+
+    def test_invalid_weight(self):
+        scheduler = WFQScheduler(Environment())
+        with pytest.raises(ValueError):
+            scheduler.set_client_weight("x", 0.0)
+
+    def test_equal_weights_alternate_fairly(self):
+        env = Environment()
+        scheduler = WFQScheduler(env)
+        for _ in range(6):
+            scheduler.push(make_task("a"), estimate=1.0)
+        for _ in range(6):
+            scheduler.push(make_task("b"), estimate=1.0)
+        order = drain(env, scheduler, 12)
+        # Client b must not wait for all of a's backlog.
+        assert "b" in order[:4]

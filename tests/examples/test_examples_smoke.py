@@ -1,0 +1,59 @@
+"""Smoke tests: the runnable examples must keep working.
+
+Each example's ``main()`` is executed in-process (they are deterministic
+simulations with internal assertions, so completing without raising is a
+real check).  The slowest examples (functional AlexNet, full service
+comparisons) are exercised by their own integration tests and benches, so
+only the fast ones run here.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str):
+    """Execute examples/<name>.py as __main__."""
+    path = EXAMPLES / f"{name}.py"
+    assert path.exists(), f"missing example {path}"
+    runpy.run_path(str(path), run_name="__main__")
+
+
+def test_quickstart(capsys):
+    run_example("quickstart")
+    out = capsys.readouterr().out
+    assert "results identical on both platforms" in out
+    assert "sharing overhead" in out
+
+
+def test_device_sharing_migration(capsys):
+    run_example("device_sharing_migration")
+    out = capsys.readouterr().out
+    assert "1 migration(s)" in out
+    assert "bitstream='mm'" in out
+
+
+def test_trace_latency_breakdown(capsys, tmp_path):
+    # Redirect the Chrome trace into the test's tmp dir.
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "trace_example", EXAMPLES / "trace_latency_breakdown.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.TRACE_PATH = str(tmp_path / "trace.json")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Per-request latency breakdown" in out
+    assert (tmp_path / "trace.json").exists()
+
+
+def test_matrix_multiply_sweep(capsys):
+    run_example("matrix_multiply_sweep")
+    out = capsys.readouterr().out
+    assert "grpc ovh" in out

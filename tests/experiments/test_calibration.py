@@ -1,0 +1,36 @@
+"""The calibration self-check must stay within tolerance of its anchors."""
+
+import pytest
+
+from repro.experiments.calibration import ANCHORS, run_calibration
+
+
+class TestCalibrationAnchors:
+    def test_every_anchor_within_20_percent(self):
+        _text, records = run_calibration()
+        for record in records:
+            assert abs(record["relative_deviation"]) < 0.20, (
+                f"{record['name']} drifted: expected "
+                f"{record['expected_seconds']}s, measured "
+                f"{record['measured_seconds']}s"
+            )
+
+    def test_hard_anchors_within_5_percent(self):
+        """The directly-pinned constants must be tight."""
+        tight = {
+            "PCIe gen3 x8, 1 GiB DMA",
+            "shm copy, 2 GiB",
+            "Sobel kernel, 1920×1080",
+            "MM kernel, 4096³",
+            "full reconfiguration",
+        }
+        _text, records = run_calibration()
+        for record in records:
+            if record["name"] in tight:
+                assert abs(record["relative_deviation"]) < 0.05
+
+    def test_report_includes_all_anchors(self):
+        text, records = run_calibration()
+        assert len(records) == len(ANCHORS)
+        for anchor in ANCHORS:
+            assert anchor.name in text

@@ -1,0 +1,93 @@
+"""Tests for the Figure 4 harnesses (calibration anchors + shapes)."""
+
+import pytest
+
+from repro.experiments import run_mm_sweep, run_rw_sweep, run_sobel_sweep
+from repro.experiments.fig4 import GiB, KiB, MiB
+
+
+def _index(points):
+    return {(p.label, p.system): p.rtt for p in points}
+
+
+class TestRwSweep:
+    def test_anchors_match_paper(self):
+        points = run_rw_sweep(sizes=[2 * GiB])
+        by_key = _index(points)
+        native = by_key[("2GB", "native")]
+        grpc = by_key[("2GB", "blastfunction")]
+        shm = by_key[("2GB", "blastfunction_shm")]
+        assert native == pytest.approx(0.316, rel=0.05)
+        assert 3.0 < grpc / native < 4.5
+        assert 0.13 < shm - native < 0.18
+
+    def test_rtt_monotonic_in_size(self):
+        points = run_rw_sweep(sizes=[1 * MiB, 64 * MiB],
+                              systems=("native",))
+        rtts = [p.rtt for p in points]
+        assert rtts[0] < rtts[1]
+
+    def test_small_transfers_dominated_by_control(self):
+        points = run_rw_sweep(sizes=[1 * KiB],
+                              systems=("blastfunction_shm",))
+        assert 0.5e-3 < points[0].rtt < 4e-3
+
+
+class TestSobelSweep:
+    def test_native_full_hd_matches_paper(self):
+        points = run_sobel_sweep(sizes=[(1920, 1080)], systems=("native",))
+        assert points[0].rtt == pytest.approx(14.53e-3, rel=0.08)
+
+    def test_shm_overhead_small_constant(self):
+        sizes = [(100, 100), (1920, 1080)]
+        points = run_sobel_sweep(
+            sizes=sizes, systems=("native", "blastfunction_shm")
+        )
+        by_key = _index(points)
+        for width, height in sizes:
+            label = f"{width}x{height}"
+            overhead = (by_key[(label, "blastfunction_shm")]
+                        - by_key[(label, "native")])
+            assert 0.5e-3 < overhead < 4e-3
+
+    def test_linear_in_pixels(self):
+        points = run_sobel_sweep(
+            sizes=[(480, 270), (960, 540), (1920, 1080)],
+            systems=("native",),
+        )
+        r1, r2, r3 = [p.rtt for p in points]
+        # Quadrupling pixels roughly quadruples the dominant terms.
+        assert (r3 - r2) == pytest.approx(4 * (r2 - r1), rel=0.2)
+
+
+class TestMMSweep:
+    def test_4096_matches_paper(self):
+        points = run_mm_sweep(sizes=[4096])
+        by_key = _index(points)
+        assert by_key[("4096x4096", "native")] == pytest.approx(
+            3.571, rel=0.02
+        )
+        assert by_key[("4096x4096", "blastfunction_shm")] == pytest.approx(
+            3.588, rel=0.02
+        )
+        assert by_key[("4096x4096", "blastfunction")] == pytest.approx(
+            3.675, rel=0.02
+        )
+
+    def test_remote_minimum_rtt_about_2ms(self):
+        points = run_mm_sweep(sizes=[16],
+                              systems=("blastfunction", "blastfunction_shm"))
+        for point in points:
+            assert 1e-3 < point.rtt < 4e-3
+
+    def test_relative_overhead_shrinks_with_compute(self):
+        points = run_mm_sweep(sizes=[256, 2048],
+                              systems=("native", "blastfunction_shm"))
+        by_key = _index(points)
+
+        def rel(label):
+            native = by_key[(label, "native")]
+            shm = by_key[(label, "blastfunction_shm")]
+            return (shm - native) / native
+
+        assert rel("2048x2048") < rel("256x256")

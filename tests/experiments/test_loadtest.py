@@ -1,0 +1,94 @@
+"""Tests for the multi-function load-test harness (shortened windows)."""
+
+import pytest
+
+from repro.experiments import rates_for, run_scenario
+from repro.experiments.config import LoadTiming
+from repro.serverless import SobelApp
+
+FAST = LoadTiming(warmup=1.0, duration=5.0)
+
+
+@pytest.fixture(scope="module")
+def bf_low():
+    return run_scenario(
+        use_case="sobel", configuration="low", runtime="blastfunction",
+        app_factory=lambda: SobelApp(),
+        accelerator="sobel",
+        rates=rates_for("sobel", "low", "blastfunction"),
+        timing=FAST,
+    )
+
+
+@pytest.fixture(scope="module")
+def native_low():
+    return run_scenario(
+        use_case="sobel", configuration="low", runtime="native",
+        app_factory=lambda: SobelApp(),
+        accelerator="sobel",
+        rates=rates_for("sobel", "low", "native"),
+        timing=FAST,
+    )
+
+
+class TestBlastFunctionScenario:
+    def test_deploys_five_functions(self, bf_low):
+        assert len(bf_low.functions) == 5
+        assert [f.function for f in bf_low.functions] == [
+            f"sobel-{i}" for i in range(1, 6)
+        ]
+
+    def test_functions_spread_over_three_devices(self, bf_low):
+        devices = [f.device for f in bf_low.functions]
+        assert len(set(devices)) == 3
+
+    def test_low_load_meets_targets(self, bf_low):
+        for fn in bf_low.functions:
+            assert fn.processed == pytest.approx(fn.target, rel=0.15)
+
+    def test_latencies_in_paper_band(self, bf_low):
+        for fn in bf_low.functions:
+            assert 15e-3 < fn.latency < 45e-3
+
+    def test_utilization_tracks_rate(self, bf_low):
+        # Utilization ≈ rate × device-seconds/request; higher-rate functions
+        # must show higher utilization.
+        by_rate = sorted(bf_low.functions, key=lambda f: f.target)
+        assert by_rate[0].utilization < by_rate[-1].utilization
+        for fn in bf_low.functions:
+            assert 0.0 < fn.utilization < 1.0
+
+    def test_aggregates_consistent(self, bf_low):
+        assert bf_low.total_processed == pytest.approx(
+            sum(f.processed for f in bf_low.functions)
+        )
+        assert bf_low.total_target == 55.0
+
+
+class TestNativeScenario:
+    def test_deploys_three_pinned_functions(self, native_low):
+        assert len(native_low.functions) == 3
+        assert [f.node for f in native_low.functions] == ["A", "B", "C"]
+
+    def test_low_load_meets_targets(self, native_low):
+        for fn in native_low.functions:
+            assert fn.processed == pytest.approx(fn.target, rel=0.15)
+
+    def test_node_a_is_slowest(self, native_low):
+        by_node = {f.node: f for f in native_low.functions}
+        assert by_node["A"].latency > by_node["B"].latency
+        assert by_node["A"].latency > by_node["C"].latency
+
+
+class TestCrossScenario:
+    def test_bf_supports_more_aggregate_load(self, bf_low, native_low):
+        assert bf_low.total_target > native_low.total_target
+        assert bf_low.total_processed > native_low.total_processed
+
+    def test_unknown_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario(
+                use_case="sobel", configuration="low", runtime="gpu",
+                app_factory=lambda: SobelApp(),
+                accelerator="sobel", rates=[1.0], timing=FAST,
+            )

@@ -1,0 +1,139 @@
+"""Unit and property tests for the device memory allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga import MemoryAllocator, OutOfMemoryError
+
+
+class TestAllocation:
+    def test_allocate_tracks_usage(self):
+        allocator = MemoryAllocator(1000)
+        buffer = allocator.allocate(300)
+        assert allocator.used == 300
+        assert allocator.free == 700
+        assert buffer.size == 300
+
+    def test_out_of_memory_raises(self):
+        allocator = MemoryAllocator(100)
+        allocator.allocate(80)
+        with pytest.raises(OutOfMemoryError):
+            allocator.allocate(30)
+
+    def test_release_returns_memory(self):
+        allocator = MemoryAllocator(100)
+        buffer = allocator.allocate(80)
+        allocator.release(buffer)
+        assert allocator.used == 0
+        allocator.allocate(100)  # must fit again
+
+    def test_release_unknown_id_raises(self):
+        allocator = MemoryAllocator(100)
+        with pytest.raises(KeyError):
+            allocator.release(42)
+
+    def test_release_all(self):
+        allocator = MemoryAllocator(100)
+        buffers = [allocator.allocate(10) for _ in range(5)]
+        assert allocator.release_all() == 5
+        assert allocator.used == 0
+        for buffer in buffers:
+            assert buffer.freed
+
+    def test_zero_size_rejected(self):
+        allocator = MemoryAllocator(100)
+        with pytest.raises(ValueError):
+            allocator.allocate(0)
+
+    def test_get_by_id(self):
+        allocator = MemoryAllocator(100)
+        buffer = allocator.allocate(10)
+        assert allocator.get(buffer.id) is buffer
+
+    def test_buffers_do_not_overlap(self):
+        allocator = MemoryAllocator(1000)
+        buffers = [allocator.allocate(100) for _ in range(10)]
+        ranges = sorted((b.offset, b.offset + b.size) for b in buffers)
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end <= start
+
+    def test_hole_reuse_after_free(self):
+        allocator = MemoryAllocator(300)
+        first = allocator.allocate(100)
+        allocator.allocate(100)
+        allocator.release(first)
+        reused = allocator.allocate(100)
+        assert reused.offset == 0
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=64),
+                       min_size=1, max_size=40)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_alloc_free_invariants(self, sizes):
+        allocator = MemoryAllocator(4096)
+        live = []
+        for index, size in enumerate(sizes):
+            buffer = allocator.allocate(size)
+            live.append(buffer)
+            if index % 3 == 2:
+                allocator.release(live.pop(0))
+        assert allocator.used == sum(b.size for b in live)
+        spans = sorted((b.offset, b.offset + b.size) for b in live)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+
+class TestDeviceBuffer:
+    def test_write_then_read_roundtrip(self):
+        allocator = MemoryAllocator(100, functional=True)
+        buffer = allocator.allocate(16)
+        buffer.write(b"hello world!!")
+        assert buffer.read(13) == b"hello world!!"
+
+    def test_write_numpy_array(self):
+        allocator = MemoryAllocator(100, functional=True)
+        buffer = allocator.allocate(16)
+        data = np.arange(4, dtype=np.float32)
+        buffer.write(data)
+        out = np.frombuffer(buffer.read(16), dtype=np.float32)
+        np.testing.assert_array_equal(out, data)
+
+    def test_offset_access(self):
+        allocator = MemoryAllocator(100, functional=True)
+        buffer = allocator.allocate(10)
+        buffer.write(b"abc", offset=4)
+        assert buffer.read(3, offset=4) == b"abc"
+
+    def test_out_of_bounds_rejected(self):
+        allocator = MemoryAllocator(100, functional=True)
+        buffer = allocator.allocate(10)
+        with pytest.raises(ValueError):
+            buffer.write(b"x" * 11)
+        with pytest.raises(ValueError):
+            buffer.read(5, offset=8)
+
+    def test_freed_buffer_rejected(self):
+        allocator = MemoryAllocator(100, functional=True)
+        buffer = allocator.allocate(10)
+        allocator.release(buffer)
+        with pytest.raises(RuntimeError):
+            buffer.read(1)
+
+    def test_as_array_view_is_writable(self):
+        allocator = MemoryAllocator(100, functional=True)
+        buffer = allocator.allocate(16)
+        view = buffer.as_array(np.float32, (4,))
+        view[:] = [1, 2, 3, 4]
+        out = np.frombuffer(buffer.read(16), dtype=np.float32)
+        np.testing.assert_array_equal(out, [1, 2, 3, 4])
+
+    def test_timing_only_mode_has_no_data(self):
+        allocator = MemoryAllocator(100, functional=False)
+        buffer = allocator.allocate(10)
+        buffer.write(b"ignored")            # accepted, dropped
+        assert buffer.read(4) == bytes(4)   # zeros
+        with pytest.raises(RuntimeError):
+            _ = buffer.data

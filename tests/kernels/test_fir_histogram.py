@@ -1,0 +1,181 @@
+"""Tests for the extra Spector accelerators (FIR filter, histogram)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    FIRKernel,
+    HistogramKernel,
+    fir_reference,
+    histogram_reference,
+)
+from repro.kernels.fir import FIR_MAX_TAPS, FIR_SAMPLE_RATE
+from repro.kernels.histogram import HISTOGRAM_MAX_BINS
+
+
+class FakeBuffer:
+    def __init__(self, nbytes):
+        self._data = np.zeros(nbytes, dtype=np.uint8)
+        self.size = nbytes
+
+    def as_array(self, dtype, shape):
+        wanted = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        return self._data[:wanted].view(dtype).reshape(shape)
+
+
+class TestFIRReference:
+    def test_identity_filter(self):
+        signal = np.array([1, 2, 3, 4], dtype=np.float32)
+        coeffs = np.array([1.0], dtype=np.float32)
+        np.testing.assert_allclose(fir_reference(signal, coeffs), signal)
+
+    def test_delay_filter(self):
+        signal = np.array([1, 2, 3, 4], dtype=np.float32)
+        coeffs = np.array([0.0, 1.0], dtype=np.float32)
+        np.testing.assert_allclose(
+            fir_reference(signal, coeffs), [0, 1, 2, 3]
+        )
+
+    def test_moving_average(self):
+        signal = np.ones(6, dtype=np.float32)
+        coeffs = np.full(3, 1 / 3, dtype=np.float32)
+        out = fir_reference(signal, coeffs)
+        np.testing.assert_allclose(out[2:], 1.0, rtol=1e-6)
+        assert out[0] == pytest.approx(1 / 3)
+
+    @given(
+        n=st.integers(min_value=1, max_value=64),
+        taps=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_linearity(self, n, taps, seed):
+        rng = np.random.default_rng(seed)
+        x1 = rng.standard_normal(n).astype(np.float32)
+        x2 = rng.standard_normal(n).astype(np.float32)
+        c = rng.standard_normal(taps).astype(np.float32)
+        combined = fir_reference(x1 + x2, c)
+        separate = fir_reference(x1, c) + fir_reference(x2, c)
+        np.testing.assert_allclose(combined, separate, rtol=1e-4,
+                                   atol=1e-4)
+
+
+class TestFIRKernel:
+    def test_duration_linear_in_samples(self):
+        kernel = FIRKernel()
+        d1 = kernel.duration({"n": 1_000_000, "taps": 16})
+        d2 = kernel.duration({"n": 2_000_000, "taps": 16})
+        assert (d2 - d1) == pytest.approx(1_000_000 / FIR_SAMPLE_RATE)
+
+    def test_duration_independent_of_taps(self):
+        kernel = FIRKernel()
+        assert kernel.duration({"n": 1000, "taps": 2}) == pytest.approx(
+            kernel.duration({"n": 1000, "taps": 64})
+        )
+
+    def test_too_many_taps_rejected(self):
+        with pytest.raises(ValueError):
+            FIRKernel().duration({"n": 100, "taps": FIR_MAX_TAPS + 1})
+
+    def test_compute_via_buffers(self):
+        kernel = FIRKernel()
+        n, taps = 16, 4
+        rng = np.random.default_rng(0)
+        signal = rng.standard_normal(n).astype(np.float32)
+        coeffs = rng.standard_normal(taps).astype(np.float32)
+        sig_buf = FakeBuffer(signal.nbytes)
+        coef_buf = FakeBuffer(coeffs.nbytes)
+        out_buf = FakeBuffer(signal.nbytes)
+        sig_buf.as_array(np.float32, (n,))[:] = signal
+        coef_buf.as_array(np.float32, (taps,))[:] = coeffs
+        kernel.compute({"signal": sig_buf, "coeffs": coef_buf,
+                        "output": out_buf, "n": n, "taps": taps})
+        np.testing.assert_allclose(
+            out_buf.as_array(np.float32, (n,)),
+            fir_reference(signal, coeffs), rtol=1e-5,
+        )
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 2**32, size=1000, dtype=np.uint32)
+        counts = histogram_reference(values, 64)
+        assert counts.sum() == 1000
+
+    def test_known_distribution(self):
+        values = np.array([0, 1, 1, 2, 2, 2], dtype=np.uint32)
+        np.testing.assert_array_equal(
+            histogram_reference(values, 4), [1, 2, 3, 0]
+        )
+
+    def test_modulo_binning(self):
+        values = np.array([5, 9], dtype=np.uint32)  # both ≡ 1 (mod 4)
+        np.testing.assert_array_equal(
+            histogram_reference(values, 4), [0, 2, 0, 0]
+        )
+
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        bins=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_property(self, n, bins, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        assert histogram_reference(values, bins).sum() == n
+
+    def test_kernel_duration_and_limits(self):
+        kernel = HistogramKernel()
+        assert kernel.duration({"n": 4_000_000, "bins": 256}) == \
+            pytest.approx(40e-6 + 0.01)
+        with pytest.raises(ValueError):
+            kernel.duration({"n": 10, "bins": HISTOGRAM_MAX_BINS + 1})
+
+    def test_kernel_compute_via_buffers(self):
+        kernel = HistogramKernel()
+        n, bins = 100, 8
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 1000, size=n, dtype=np.uint32)
+        val_buf = FakeBuffer(values.nbytes)
+        count_buf = FakeBuffer(bins * 4)
+        val_buf.as_array(np.uint32, (n,))[:] = values
+        kernel.compute({"values": val_buf, "counts": count_buf,
+                        "n": n, "bins": bins})
+        np.testing.assert_array_equal(
+            count_buf.as_array(np.uint32, (bins,)),
+            histogram_reference(values, bins),
+        )
+
+
+class TestExtendedLibraryEndToEnd:
+    def test_fir_through_board(self):
+        from repro.fpga import FPGABoard, extended_library
+        from repro.sim import Environment
+
+        env = Environment()
+        library = extended_library()
+        board = FPGABoard(env, functional=True)
+        env.run(until=env.process(board.program(library.get("fir"))))
+        n, taps = 32, 4
+        rng = np.random.default_rng(3)
+        signal = rng.standard_normal(n).astype(np.float32)
+        coeffs = rng.standard_normal(taps).astype(np.float32)
+        sig = board.allocate(signal.nbytes)
+        coef = board.allocate(coeffs.nbytes)
+        out = board.allocate(signal.nbytes)
+
+        def flow():
+            yield from board.dma_write(sig, signal.nbytes, signal.tobytes())
+            yield from board.dma_write(coef, coeffs.nbytes,
+                                       coeffs.tobytes())
+            yield from board.execute("fir", [sig, coef, out, n, taps])
+            data = yield from board.dma_read(out, signal.nbytes)
+            return np.frombuffer(data, dtype=np.float32)
+
+        result = env.run(until=env.process(flow()))
+        np.testing.assert_allclose(result, fir_reference(signal, coeffs),
+                                   rtol=1e-5)

@@ -1,0 +1,115 @@
+"""The C-style cl* API: identical host code on native and BlastFunction."""
+
+import numpy as np
+import pytest
+
+from repro.core.device_manager import DeviceManager
+from repro.core.remote_lib import remote_platform
+from repro.fpga import FPGABoard, standard_library
+from repro.kernels import sobel_reference
+from repro.ocl import ExecutionStatus, MemFlags, ProfilingInfo, native_platform
+from repro.ocl.api import (
+    clBuildProgram,
+    clCreateBuffer,
+    clCreateCommandQueue,
+    clCreateContext,
+    clCreateKernel,
+    clCreateProgramWithBinary,
+    clEnqueueNDRangeKernel,
+    clEnqueueReadBuffer,
+    clEnqueueWriteBuffer,
+    clFinish,
+    clGetDeviceIDs,
+    clGetEventInfo,
+    clGetEventProfilingInfo,
+    clReleaseContext,
+    clWaitForEvents,
+)
+from repro.rpc import Network
+from repro.sim import Environment
+
+SIDE = 8
+NBYTES = SIDE * SIDE * 4
+
+
+def sobel_c_style(platform, image):
+    """Host code transliterated from the C API."""
+    devices = clGetDeviceIDs(platform)
+    context = clCreateContext(devices)
+    queue = clCreateCommandQueue(context)
+    program = clCreateProgramWithBinary(context, "sobel")
+    yield from clBuildProgram(program)
+    kernel = clCreateKernel(program, "sobel")
+
+    in_buf = clCreateBuffer(context, MemFlags.READ_ONLY, NBYTES)
+    out_buf = clCreateBuffer(context, MemFlags.WRITE_ONLY, NBYTES)
+    kernel.set_args(in_buf, out_buf, SIDE, SIDE)
+
+    yield from clEnqueueWriteBuffer(queue, in_buf, True, 0, NBYTES, image)
+    kernel_event = clEnqueueNDRangeKernel(queue, kernel)
+    read_event = clEnqueueReadBuffer(queue, out_buf, False, 0, NBYTES)
+    queue.flush()
+    yield clWaitForEvents([kernel_event, read_event])
+    yield from clFinish(queue)
+
+    assert clGetEventInfo(kernel_event) == ExecutionStatus.COMPLETE
+    data = read_event.value
+    clReleaseContext(context)
+    return np.frombuffer(data, dtype=np.uint32).reshape(SIDE, SIDE)
+
+
+@pytest.fixture
+def image():
+    rng = np.random.default_rng(123)
+    return rng.integers(0, 4096, size=(SIDE, SIDE), dtype=np.uint32)
+
+
+def test_c_api_on_native(image):
+    env = Environment()
+    board = FPGABoard(env, functional=True)
+    platform = native_platform(env, board, standard_library())
+
+    def flow():
+        result = yield from sobel_c_style(platform, image)
+        return result
+
+    result = env.run(until=env.process(flow()))
+    np.testing.assert_array_equal(result, sobel_reference(image))
+
+
+def test_c_api_on_blastfunction(image):
+    env = Environment()
+    network = Network(env)
+    library = standard_library()
+    node = network.host("B")
+    board = FPGABoard(env, functional=True)
+    manager = DeviceManager(env, "dm-B", board, library, network, node)
+
+    def flow():
+        platform = yield from remote_platform(
+            env, "c-api-fn", node, manager, network, library
+        )
+        result = yield from sobel_c_style(platform, image)
+        return result
+
+    result = env.run(until=env.process(flow()))
+    np.testing.assert_array_equal(result, sobel_reference(image))
+
+
+def test_profiling_info_via_c_api(image):
+    env = Environment()
+    board = FPGABoard(env, functional=True)
+    platform = native_platform(env, board, standard_library())
+
+    def flow():
+        context = clCreateContext(clGetDeviceIDs(platform))
+        queue = clCreateCommandQueue(context)
+        buffer = clCreateBuffer(context, MemFlags.READ_WRITE, 1 << 20)
+        event = clEnqueueWriteBuffer(queue, buffer, False, 0, 1 << 20, None)
+        yield clWaitForEvents([event])
+        start = clGetEventProfilingInfo(event, ProfilingInfo.START)
+        end = clGetEventProfilingInfo(event, ProfilingInfo.END)
+        return end - start
+
+    duration = env.run(until=env.process(flow()))
+    assert duration > 0

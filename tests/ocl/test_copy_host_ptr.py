@@ -1,0 +1,76 @@
+"""CL_MEM_COPY_HOST_PTR initialization on both runtimes."""
+
+import numpy as np
+import pytest
+
+from repro.core.device_manager import DeviceManager
+from repro.core.remote_lib import remote_platform
+from repro.fpga import FPGABoard, standard_library
+from repro.ocl import Context, MemFlags, native_platform
+from repro.rpc import Network
+from repro.sim import Environment
+
+PAYLOAD = b"initialised-by-COPY_HOST_PTR!!!!"
+
+
+def test_native_buffer_initialised():
+    env = Environment()
+    board = FPGABoard(env, functional=True)
+    platform = native_platform(env, board, standard_library())
+    context = Context(platform.get_devices())
+    queue = context.create_queue()
+    buffer = context.create_buffer(
+        len(PAYLOAD), MemFlags.READ_ONLY | MemFlags.COPY_HOST_PTR,
+        hostbuf=PAYLOAD,
+    )
+
+    def flow():
+        data = yield from queue.read_buffer(buffer)
+        return data
+
+    assert env.run(until=env.process(flow())) == PAYLOAD
+
+
+def test_native_accepts_numpy_hostbuf():
+    env = Environment()
+    board = FPGABoard(env, functional=True)
+    platform = native_platform(env, board, standard_library())
+    context = Context(platform.get_devices())
+    queue = context.create_queue()
+    array = np.arange(8, dtype=np.float32)
+    buffer = context.create_buffer(
+        array.nbytes, MemFlags.READ_WRITE | MemFlags.COPY_HOST_PTR,
+        hostbuf=array,
+    )
+
+    def flow():
+        data = yield from queue.read_buffer(buffer)
+        return np.frombuffer(data, dtype=np.float32)
+
+    np.testing.assert_array_equal(
+        env.run(until=env.process(flow())), array
+    )
+
+
+def test_remote_buffer_initialised():
+    env = Environment()
+    network = Network(env)
+    library = standard_library()
+    node = network.host("B")
+    board = FPGABoard(env, functional=True)
+    manager = DeviceManager(env, "dm-B", board, library, network, node)
+
+    def flow():
+        platform = yield from remote_platform(
+            env, "fn", node, manager, network, library
+        )
+        context = Context(platform.get_devices())
+        queue = context.create_queue()
+        buffer = context.create_buffer(
+            len(PAYLOAD), MemFlags.READ_ONLY | MemFlags.COPY_HOST_PTR,
+            hostbuf=PAYLOAD,
+        )
+        data = yield from queue.read_buffer(buffer)
+        return data
+
+    assert env.run(until=env.process(flow())) == PAYLOAD

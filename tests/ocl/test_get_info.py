@@ -1,0 +1,80 @@
+"""Tests for clGet*Info-style introspection APIs."""
+
+import pytest
+
+from repro.fpga import FPGABoard, standard_library
+from repro.ocl import (
+    CLError,
+    Context,
+    DeviceInfo,
+    PlatformInfo,
+    ProfilingInfo,
+    native_platform,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture
+def platform():
+    env = Environment()
+    board = FPGABoard(env, functional=False)
+    return env, native_platform(env, board, standard_library())
+
+
+class TestPlatformInfo:
+    def test_name_and_vendor(self, platform):
+        _env, p = platform
+        assert "FPGA SDK" in p.get_info(PlatformInfo.NAME)
+        assert "Intel" in p.get_info(PlatformInfo.VENDOR)
+        assert p.get_info(PlatformInfo.VERSION).startswith("OpenCL")
+        assert p.get_info(PlatformInfo.PROFILE) == "EMBEDDED_PROFILE"
+
+    def test_unknown_param_rejected(self, platform):
+        _env, p = platform
+        with pytest.raises(CLError):
+            p.get_info("not-a-param")
+
+
+class TestDeviceInfo:
+    def test_device_facts(self, platform):
+        _env, p = platform
+        device = p.get_devices()[0]
+        assert "DE5a-Net" in device.get_info(DeviceInfo.NAME)
+        assert device.get_info(DeviceInfo.GLOBAL_MEM_SIZE) == 8 * 1024**3
+        assert device.get_info(DeviceInfo.AVAILABLE) is True
+        assert device.get_info(DeviceInfo.PLATFORM) is p
+
+    def test_unknown_param_rejected(self, platform):
+        _env, p = platform
+        with pytest.raises(CLError):
+            p.get_devices()[0].get_info("bogus")
+
+
+class TestEventProfilingInfo:
+    def test_stamps_available_after_completion(self, platform):
+        env, p = platform
+        context = Context(p.get_devices())
+        queue = context.create_queue()
+        buffer = context.create_buffer(1 << 20)
+
+        def flow():
+            event = queue.enqueue_write_buffer(buffer, nbytes=1 << 20)
+            yield event.wait()
+            return event
+
+        event = env.run(until=env.process(flow()))
+        queued = event.get_profiling_info(ProfilingInfo.QUEUED)
+        end = event.get_profiling_info(ProfilingInfo.END)
+        assert end > queued
+
+    def test_missing_stamp_raises_profiling_error(self, platform):
+        env, p = platform
+        context = Context(p.get_devices())
+        queue = context.create_queue()
+        buffer = context.create_buffer(64)
+        event = queue.enqueue_write_buffer(buffer, nbytes=64)
+        from repro.ocl.errors import CL_PROFILING_INFO_NOT_AVAILABLE
+
+        with pytest.raises(CLError) as excinfo:
+            event.get_profiling_info(ProfilingInfo.END)
+        assert excinfo.value.code == CL_PROFILING_INFO_NOT_AVAILABLE

@@ -1,0 +1,134 @@
+"""Tests for unary-call deadlines (gRPC timeout semantics)."""
+
+import pytest
+
+from repro.rpc import (
+    GrpcTransport,
+    Network,
+    RpcEndpoint,
+    RpcError,
+    reply,
+    reply_error,
+    unary_call,
+)
+from repro.rpc.messages import RpcTimeout
+from repro.sim import Environment
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    network = Network(env)
+    host = network.host("A")
+    transport = GrpcTransport(env, network, host, host)
+    endpoint = RpcEndpoint(env, "server")
+    return env, transport, endpoint
+
+
+def test_timeout_raises_when_server_silent(setup):
+    env, transport, endpoint = setup
+
+    def client():
+        try:
+            yield from unary_call(transport, endpoint, "Slow", timeout=1.0)
+        except RpcTimeout as exc:
+            return env.now, str(exc)
+        return None
+
+    # No server at all: the call must give up at the deadline.
+    now, text = env.run(until=env.process(client()))
+    assert now == pytest.approx(1.0, abs=0.01)
+    assert "deadline" in text
+
+
+def test_reply_before_deadline_succeeds(setup):
+    env, transport, endpoint = setup
+
+    def server():
+        message = yield endpoint.inbox.get()
+        yield from reply(transport, message, {"ok": True})
+
+    def client():
+        result = yield from unary_call(transport, endpoint, "Fast",
+                                       timeout=5.0)
+        return result
+
+    env.process(server())
+    assert env.run(until=env.process(client())) == {"ok": True}
+
+
+def test_late_reply_does_not_crash_simulation(setup):
+    env, transport, endpoint = setup
+    outcome = {}
+
+    def server():
+        message = yield endpoint.inbox.get()
+        yield env.timeout(3.0)  # long past the client's deadline
+        yield from reply(transport, message, {"late": True})
+
+    def client():
+        try:
+            yield from unary_call(transport, endpoint, "Slow", timeout=0.5)
+        except RpcTimeout:
+            outcome["timed_out"] = env.now
+
+    env.process(server())
+    env.process(client())
+    env.run()  # the late reply lands after abandonment: must not raise
+    assert outcome["timed_out"] == pytest.approx(0.5, abs=0.01)
+
+
+def test_late_error_reply_does_not_crash(setup):
+    env, transport, endpoint = setup
+
+    def server():
+        message = yield endpoint.inbox.get()
+        yield env.timeout(3.0)
+        yield from reply_error(transport, message, ValueError("too late"))
+
+    def client():
+        with pytest.raises(RpcTimeout):
+            yield from unary_call(transport, endpoint, "Slow", timeout=0.5)
+
+    env.process(server())
+    env.process(client())
+    env.run()
+
+
+def test_server_error_before_deadline_raises_rpc_error(setup):
+    env, transport, endpoint = setup
+
+    def server():
+        message = yield endpoint.inbox.get()
+        yield from reply_error(transport, message, ValueError("nope"))
+
+    def client():
+        try:
+            yield from unary_call(transport, endpoint, "Bad", timeout=5.0)
+        except RpcTimeout:
+            return "timeout"
+        except RpcError as exc:
+            return f"error:{exc}"
+
+    env.process(server())
+    result = env.run(until=env.process(client()))
+    assert result.startswith("error:")
+    assert "nope" in result
+
+
+def test_no_timeout_waits_indefinitely(setup):
+    env, transport, endpoint = setup
+
+    def server():
+        message = yield endpoint.inbox.get()
+        yield env.timeout(50.0)
+        yield from reply(transport, message, "eventually")
+
+    def client():
+        result = yield from unary_call(transport, endpoint, "Patient")
+        return env.now, result
+
+    env.process(server())
+    now, result = env.run(until=env.process(client()))
+    assert result == "eventually"
+    assert now > 50.0

@@ -1,0 +1,129 @@
+"""Edge cases of the function-instance runtime and registry validation."""
+
+import pytest
+
+from repro.cluster import DeviceQuery, build_testbed
+from repro.core.registry import AcceleratorsRegistry
+from repro.core.remote_lib import ManagerAddress, PlatformRouter
+from repro.serverless import (
+    FunctionController,
+    FunctionSpec,
+    Gateway,
+    InstanceStartupError,
+    MMApp,
+    SobelApp,
+)
+from repro.sim import Environment
+
+
+def make_stack(env, with_router=True):
+    testbed = build_testbed(env, functional=False)
+    registry = AcceleratorsRegistry(
+        env, testbed.cluster, list(testbed.managers.values()),
+        scraper=testbed.scraper,
+    )
+    router = None
+    if with_router:
+        router = PlatformRouter(env, testbed.network, testbed.library)
+        router.add_managers(
+            [ManagerAddress.of(m) for m in testbed.managers.values()]
+        )
+    gateway = Gateway(env, testbed.cluster)
+    controller = FunctionController(env, testbed.cluster, gateway, router)
+    if router is not None:
+        registry.migrator = controller.migrate
+    return testbed, registry, gateway, controller
+
+
+class TestInstanceStartup:
+    def test_blastfunction_without_router_fails_cleanly(self):
+        env = Environment()
+        testbed, registry, gateway, controller = make_stack(
+            env, with_router=False
+        )
+
+        def flow():
+            yield from gateway.deploy(FunctionSpec(
+                name="fn",
+                app_factory=lambda: SobelApp(width=64, height=64),
+                device_query=DeviceQuery(accelerator="sobel"),
+            ))
+            yield from controller.wait_ready("fn")
+
+        with pytest.raises(InstanceStartupError, match="router"):
+            env.run(until=env.process(flow()))
+
+    def test_unknown_runtime_rejected(self):
+        env = Environment()
+        testbed, registry, gateway, controller = make_stack(env)
+
+        def flow():
+            yield from gateway.deploy(FunctionSpec(
+                name="fn",
+                app_factory=lambda: SobelApp(width=64, height=64),
+                device_query=DeviceQuery(accelerator="sobel"),
+                runtime="quantum",
+            ))
+            yield from controller.wait_ready("fn")
+
+        with pytest.raises(InstanceStartupError, match="unknown runtime"):
+            env.run(until=env.process(flow()))
+
+
+class TestReconfigurationValidation:
+    def test_foreign_binary_denied(self):
+        """A function asking for a bitstream other than its declared
+        accelerator is refused by the Registry's validator."""
+        env = Environment()
+        testbed, registry, gateway, controller = make_stack(env)
+
+        class SneakyApp(SobelApp):
+            def setup(self, env, platform, node):
+                from repro.ocl import Context
+
+                context = Context(platform.get_devices())
+                # Declared accelerator is sobel; tries to program mm.
+                program = context.create_program("mm")
+                yield from program.build()
+
+        def flow():
+            yield from gateway.deploy(FunctionSpec(
+                name="sneaky",
+                app_factory=SneakyApp,
+                device_query=DeviceQuery(accelerator="sobel"),
+            ))
+            yield from controller.wait_ready("sneaky")
+
+        from repro.ocl import CLError
+
+        with pytest.raises(CLError, match="denied by registry"):
+            env.run(until=env.process(flow()))
+
+    def test_unallocated_client_denied(self):
+        """A client the Registry never placed cannot reconfigure a board."""
+        env = Environment()
+        testbed, registry, gateway, controller = make_stack(env)
+        manager = testbed.managers["dm-A"]
+        assert manager.reconfiguration_validator("rogue-client", "mm") \
+            is False
+
+
+class TestWatchBookkeeping:
+    def test_deleting_pod_clears_device_instance(self):
+        env = Environment()
+        testbed, registry, gateway, controller = make_stack(env)
+
+        def flow():
+            yield from gateway.deploy(FunctionSpec(
+                name="fn",
+                app_factory=lambda: MMApp(n=64),
+                device_query=DeviceQuery(accelerator="mm"),
+            ))
+            yield from controller.wait_ready("fn")
+
+        env.run(until=env.process(flow()))
+        record = next(d for d in registry.devices.all() if d.instances)
+        assert "fn-i1" in record.instances
+        testbed.cluster.delete_pod("fn-i1")
+        assert "fn-i1" not in record.instances
+        assert registry.functions.instance("fn-i1") is None

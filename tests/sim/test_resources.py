@@ -1,0 +1,412 @@
+"""Unit and property-based tests for Resource/Store/Container primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    Container,
+    Environment,
+    FilterStore,
+    PriorityItem,
+    PriorityResource,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        log = []
+
+        def user(env, name, hold):
+            with resource.request() as req:
+                yield req
+                log.append(("acquired", name, env.now))
+                yield env.timeout(hold)
+            log.append(("released", name, env.now))
+
+        env.process(user(env, "a", 2.0))
+        env.process(user(env, "b", 2.0))
+        env.process(user(env, "c", 2.0))
+        env.run()
+        acquired = {name: t for op, name, t in log if op == "acquired"}
+        assert acquired == {"a": 0.0, "b": 0.0, "c": 2.0}
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def user(env, name):
+            with resource.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1.0)
+
+        for name in "abcde":
+            env.process(user(env, name))
+        env.run()
+        assert order == list("abcde")
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_count_tracks_users(self):
+        env = Environment()
+        resource = Resource(env, capacity=3)
+
+        def user(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(1.0)
+
+        env.process(user(env))
+        env.process(user(env))
+        env.run(until=0.5)
+        assert resource.count == 2
+        env.run()
+        assert resource.count == 0
+
+    def test_cancel_queued_request(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        granted = []
+
+        def holder(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        def impatient(env):
+            req = resource.request()
+            yield env.timeout(1.0)
+            req.cancel()
+
+        def patient(env):
+            yield env.timeout(0.5)
+            with resource.request() as req:
+                yield req
+                granted.append(env.now)
+
+        env.process(holder(env))
+        env.process(impatient(env))
+        env.process(patient(env))
+        env.run()
+        # The cancelled request must not block `patient` past the holder.
+        assert granted == [10.0]
+
+
+class TestPriorityResource:
+    def test_priority_grant_order(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with resource.request(priority=0) as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def user(env, name, priority, arrival):
+            yield env.timeout(arrival)
+            with resource.request(priority=priority) as req:
+                yield req
+                order.append(name)
+
+        env.process(holder(env))
+        env.process(user(env, "low", 5, 1.0))
+        env.process(user(env, "high", 1, 2.0))
+        env.run()
+        assert order == ["high", "low"]
+
+    def test_equal_priority_is_fifo(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with resource.request(priority=0) as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def user(env, name, arrival):
+            yield env.timeout(arrival)
+            with resource.request(priority=3) as req:
+                yield req
+                order.append(name)
+
+        env.process(holder(env))
+        env.process(user(env, "first", 1.0))
+        env.process(user(env, "second", 2.0))
+        env.run()
+        assert order == ["first", "second"]
+
+
+class TestStore:
+    def test_put_get_fifo(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer(env):
+            for i in range(3):
+                yield store.put(i)
+                yield env.timeout(1.0)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(4.0)
+            yield store.put("x")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(4.0, "x")]
+
+    def test_bounded_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            yield store.put("a")
+            log.append(("put-a", env.now))
+            yield store.put("b")
+            log.append(("put-b", env.now))
+
+        def consumer(env):
+            yield env.timeout(3.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert log == [("put-a", 0.0), ("put-b", 3.0)]
+
+    def test_len_reports_items(self):
+        env = Environment()
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        env.run()
+        assert len(store) == 2
+
+
+class TestFilterStore:
+    def test_filter_skips_non_matching(self):
+        env = Environment()
+        store = FilterStore(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get(lambda i: i % 2 == 0)
+            got.append(item)
+
+        def producer(env):
+            yield store.put(1)
+            yield store.put(2)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [2]
+        assert store.items == [1]
+
+    def test_blocked_filter_get_does_not_block_others(self):
+        env = Environment()
+        store = FilterStore(env)
+        got = []
+
+        def never(env):
+            yield store.get(lambda i: i == "never")
+
+        def matcher(env):
+            item = yield store.get(lambda i: i == "yes")
+            got.append(item)
+
+        env.process(never(env))
+        env.process(matcher(env))
+
+        def producer(env):
+            yield env.timeout(1.0)
+            yield store.put("yes")
+
+        env.process(producer(env))
+        env.run(until=10.0)
+        assert got == ["yes"]
+
+
+class TestPriorityStore:
+    def test_items_come_out_in_priority_order(self):
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+
+        def producer(env):
+            yield store.put(PriorityItem(2, "low"))
+            yield store.put(PriorityItem(0, "high"))
+            yield store.put(PriorityItem(1, "mid"))
+
+        def consumer(env):
+            yield env.timeout(1.0)
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item.item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == ["high", "mid", "low"]
+
+
+class TestContainer:
+    def test_get_blocks_until_level(self):
+        env = Environment()
+        container = Container(env, capacity=10.0, init=0.0)
+        got = []
+
+        def consumer(env):
+            yield container.get(5.0)
+            got.append(env.now)
+
+        def producer(env):
+            for _ in range(5):
+                yield env.timeout(1.0)
+                yield container.put(1.0)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [5.0]
+        assert container.level == 0.0
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        container = Container(env, capacity=2.0, init=2.0)
+        done = []
+
+        def producer(env):
+            yield container.put(1.0)
+            done.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(2.0)
+            yield container.get(1.5)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert done == [2.0]
+
+    def test_invalid_amounts(self):
+        env = Environment()
+        container = Container(env, capacity=1.0)
+        with pytest.raises(ValueError):
+            container.put(0)
+        with pytest.raises(ValueError):
+            container.get(-1)
+        with pytest.raises(ValueError):
+            Container(env, capacity=1.0, init=5.0)
+
+
+class TestStoreProperties:
+    @given(items=st.lists(st.integers(), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_store_preserves_fifo_order(self, items):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer(env):
+            for item in items:
+                yield store.put(item)
+
+        def consumer(env):
+            for _ in items:
+                received.append((yield store.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == items
+
+    @given(
+        priorities=st.lists(st.integers(min_value=0, max_value=5),
+                            min_size=1, max_size=30)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_priority_store_is_stable_sort(self, priorities):
+        env = Environment()
+        store = PriorityStore(env)
+        tagged = list(enumerate(priorities))
+        received = []
+
+        def producer(env):
+            for index, priority in tagged:
+                yield store.put(PriorityItem(priority, index))
+
+        def consumer(env):
+            yield env.timeout(1.0)
+            for _ in tagged:
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        expected = sorted(tagged, key=lambda pair: (pair[1], pair[0]))
+        assert [(item.item, item.priority) for item in received] == [
+            (index, priority) for index, priority in expected
+        ]
+
+    @given(
+        holds=st.lists(
+            st.floats(min_value=0.1, max_value=5.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=20,
+        ),
+        capacity=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_resource_never_exceeds_capacity(self, holds, capacity):
+        env = Environment()
+        resource = Resource(env, capacity=capacity)
+        max_seen = 0
+
+        def user(env, hold):
+            nonlocal max_seen
+            with resource.request() as req:
+                yield req
+                max_seen = max(max_seen, resource.count)
+                yield env.timeout(hold)
+
+        for hold in holds:
+            env.process(user(env, hold))
+        env.run()
+        assert max_seen <= capacity
+        assert resource.count == 0
