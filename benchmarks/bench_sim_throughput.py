@@ -1,0 +1,88 @@
+"""Simulation-kernel throughput: DES events/sec and Table II wall clock.
+
+Unlike the other benchmarks (which check *simulated* results), this one
+measures the simulator itself — the real-time cost of the zero-copy data
+plane and the DES hot path.  It writes ``BENCH_simcore.json`` at the repo
+root: the committed copy is the performance baseline the CI quick-profile
+smoke compares against (a >25 % wall-clock regression on the Table II run
+fails the build; see ``.github/workflows/ci.yml``).
+
+``baseline_*`` figures are the pre-optimization numbers recorded on the
+machine that produced the committed file (bytes-based data plane, un-slotted
+event kernel); ``recorded_full_*`` is the paper-length run measured on the
+same machine, which the quick benchmark cannot afford to repeat.
+"""
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.experiments.tables import run_use_case
+from repro.sim import Environment
+
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_simcore.json"
+
+#: Pre-optimization wall clocks (same machine as the committed baselines).
+BASELINE_QUICK_WALL_S = 7.60
+BASELINE_FULL_WALL_S = 29.19
+#: Paper-length wall clock measured after the optimization.
+RECORDED_FULL_WALL_S = 5.77
+
+_results: dict = {}
+
+
+def _pingpong(env: Environment, steps: int):
+    for _ in range(steps):
+        yield env.timeout(0.001)
+
+
+def test_des_event_throughput(benchmark):
+    """Raw kernel throughput: 200 processes × 500 timeouts each."""
+
+    def run() -> float:
+        env = Environment()
+        for _ in range(200):
+            env.process(_pingpong(env, 500))
+        start = time.perf_counter()
+        env.run()
+        wall = time.perf_counter() - start
+        # _eid counts every scheduled event (timeouts + process resumes).
+        return env._eid / wall
+
+    rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results["des_events_per_sec"] = round(rate)
+    # Generous floor: the slotted kernel clears ~500k events/s on a
+    # workstation; fail only on an order-of-magnitude collapse.
+    assert rate > 50_000
+
+
+def test_table2_quick_wall(benchmark):
+    """Wall clock of the full quick-mode Table II sweep (6 scenarios)."""
+    start = time.perf_counter()
+    results = benchmark.pedantic(
+        lambda: run_use_case("sobel"), rounds=1, iterations=1
+    )
+    _results["table2_quick_wall_s"] = round(time.perf_counter() - start, 3)
+    assert len(results) == 6
+
+
+def test_write_bench_json():
+    """Persist the measurements (runs last: pytest keeps file order)."""
+    assert {"des_events_per_sec", "table2_quick_wall_s"} <= set(_results)
+    OUTPUT.write_text(json.dumps({
+        "python": platform.python_version(),
+        "des": {
+            "events_per_sec": _results["des_events_per_sec"],
+        },
+        "table2": {
+            "quick_wall_s": _results["table2_quick_wall_s"],
+            "baseline_quick_wall_s": BASELINE_QUICK_WALL_S,
+            "recorded_full_wall_s": RECORDED_FULL_WALL_S,
+            "baseline_full_wall_s": BASELINE_FULL_WALL_S,
+            "recorded_full_speedup": round(
+                BASELINE_FULL_WALL_S / RECORDED_FULL_WALL_S, 2
+            ),
+        },
+    }, indent=2) + "\n")

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quick-profile performance smoke: gate wall-clock regressions in CI.
+
+Times the quick-mode (``REPRO_QUICK=1``) Table II sweep — the workload the
+zero-copy data plane and DES hot path were optimized for — and fails if it
+runs more than 25 % slower than the committed ``BENCH_simcore.json``
+baseline.  Absolute wall clocks vary across runner hardware, so the budget
+is deliberately generous; the gate exists to catch algorithmic regressions
+(a stray per-DMA copy, a de-slotted event class), which cost far more
+than 25 %.
+
+Usage: ``REPRO_QUICK=1 PYTHONPATH=src python scripts/perf_smoke.py``
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+ALLOWED_REGRESSION = 1.25
+
+
+def main() -> int:
+    os.environ["REPRO_QUICK"] = "1"
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.experiments.tables import run_use_case
+
+    baseline = json.loads((ROOT / "BENCH_simcore.json").read_text())
+    budget = baseline["table2"]["quick_wall_s"] * ALLOWED_REGRESSION
+
+    # Warm-up pass: imports, numpy initialisation, allocator pools.
+    run_use_case("sobel", configurations=["low"], runtimes=["native"])
+
+    start = time.perf_counter()
+    results = run_use_case("sobel")
+    wall = time.perf_counter() - start
+
+    print(f"table2 quick wall: {wall:.2f}s "
+          f"(baseline {baseline['table2']['quick_wall_s']}s, "
+          f"budget {budget:.2f}s, {len(results)} scenarios)")
+    if wall > budget:
+        print("FAIL: quick-profile wall clock regressed more than "
+              f"{(ALLOWED_REGRESSION - 1):.0%} over the committed baseline")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

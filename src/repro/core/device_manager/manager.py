@@ -19,7 +19,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ...fpga.bitstream import Bitstream, BitstreamLibrary
 from ...fpga.board import FPGABoard
-from ...fpga.ddr import DeviceBuffer, OutOfMemoryError
+from ...fpga.ddr import DeviceBuffer, OutOfMemoryError, materialize
 from ...metrics import MetricsRegistry
 from ...rpc import (
     Message,
@@ -504,9 +504,13 @@ class DeviceManager:
             listener(operation)
         if operation.type is OpType.READ:
             # COMPLETE step carries the data: pay the data-plane transfer
-            # back to the client, then notify.
+            # back to the client, then notify.  The worker proceeds to the
+            # next operation before the client observes OP_COMPLETE, so the
+            # live device view must be snapshotted *now* — the remote read
+            # path's single real copy (timing-only zero-page views pass
+            # through uncopied).
             self.env.process(self._send_read_result(
-                session, operation, result
+                session, operation, materialize(result)
             ))
         else:
             self._notify(session, Message(

@@ -155,9 +155,15 @@ class Connection:
             _StreamItem(message, gates=tuple(gates), finalize=finalize)
         )
 
-    def stream_write_data(self, tag: Any, data: Optional[bytes],
+    def stream_write_data(self, tag: Any, data: Any,
                           nbytes: int) -> None:
-        """Queue a bulk write payload (the BUFFER step) on the stream."""
+        """Queue a bulk write payload (the BUFFER step) on the stream.
+
+        ``data`` is any bytes-like object (bytes, memoryview, numpy array)
+        or ``None`` in timing-only mode; it rides the stream uncopied and
+        is written into device DDR by the manager — the write path's
+        single real copy.
+        """
         message = Message(method=protocol.WRITE_DATA,
                           payload={"data": data},
                           sender=self.client_name, tag=tag)

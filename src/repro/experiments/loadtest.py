@@ -51,6 +51,11 @@ class ScenarioResult:
     runtime: str
     functions: List[FunctionResult] = field(default_factory=list)
     stats: List[LoadStats] = field(default_factory=list)
+    #: Aggregate data-plane copy accounting over every client transport
+    #: (the paper's 4-vs-1 claim); zero for the native runtime, which has
+    #: no intermediary transports.
+    copies: int = 0
+    bytes_copied: int = 0
 
     @property
     def total_utilization_pct(self) -> float:
@@ -85,16 +90,21 @@ def run_scenario(
     metrics_order: tuple = ("connected_functions", "utilization"),
     use_shm: bool = True,
     batching: bool = True,
+    functional: bool = False,
 ) -> ScenarioResult:
     """Run one load-test scenario end to end and return the report.
 
     ``metrics_order``, ``use_shm`` and ``batching`` expose the ablation
     knobs (Algorithm 1's metric priority, the shared-memory transport, and
-    the Device Manager's multi-operation task batching).
+    the Device Manager's multi-operation task batching).  ``functional``
+    is the buffer-mode knob: the default timing-only mode carries no real
+    bytes through the data plane (the zero-copy fast path); functional
+    mode materializes buffer contents so kernels compute real results.
+    Simulated timings and copy accounting are identical in both modes.
     """
     timing = timing or load_timing()
     env = env or Environment()
-    testbed = build_testbed(env, functional=False, scrape_interval=1.0,
+    testbed = build_testbed(env, functional=functional, scrape_interval=1.0,
                             batching=batching)
     gateway = Gateway(env, testbed.cluster)
 
@@ -201,4 +211,8 @@ def run_scenario(
             target=rate,
         ))
         result.stats.append(stats)
+    for manager in testbed.managers.values():
+        for session in manager.sessions.values():
+            result.copies += session.transport.stats.copies
+            result.bytes_copied += session.transport.stats.bytes_copied
     return result

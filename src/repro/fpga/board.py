@@ -23,7 +23,13 @@ from typing import Callable, List, Optional
 from ..kernels.base import AcceleratorKernel
 from ..sim import Environment, Resource
 from .bitstream import Bitstream
-from .ddr import DeviceBuffer, MemoryAllocator
+from .ddr import (
+    DeviceBuffer,
+    MemoryAllocator,
+    as_uint8_view,
+    payload_nbytes,
+    zero_view,
+)
 from .hwspec import BoardSpec, DE5A_NET, PCIeSpec, PCIE_GEN3_X8
 from .pcie import PCIeLink
 
@@ -173,12 +179,14 @@ class FPGABoard:
         self,
         buffer: DeviceBuffer,
         nbytes: int,
-        data: Optional[bytes] = None,
+        data=None,
         offset: int = 0,
     ):
         """Process: move ``nbytes`` host→device; returns nothing.
 
-        ``data`` is stored into the buffer when the board is functional.
+        ``data`` (any bytes-like object, memoryview or numpy array) is
+        stored into the buffer when the board is functional; timing-only
+        boards never touch the payload.
         """
         if nbytes < 0 or offset < 0 or offset + nbytes > buffer.size:
             raise ValueError(
@@ -187,7 +195,9 @@ class FPGABoard:
         start = self.env.now
         yield from self.link.transfer(nbytes)
         if self.functional and data is not None:
-            buffer.write(data[:nbytes], offset)
+            if payload_nbytes(data) > nbytes:
+                data = as_uint8_view(data)[:nbytes]
+            buffer.write(data, offset)
         self._account(self.env.now - start, "dma")
 
     def copy_on_device(self, src: DeviceBuffer, dst: DeviceBuffer,
@@ -208,7 +218,13 @@ class FPGABoard:
         start = self.env.now
         yield self.env.timeout(nbytes / self.DDR_COPY_BANDWIDTH)
         if self.functional:
-            dst.write(src.read(nbytes, src_offset), dst_offset)
+            data = src.read(nbytes, src_offset)
+            if src is dst:
+                # Same-buffer copies may overlap: snapshot the source view
+                # (OpenCL leaves overlapping copies undefined; we keep the
+                # pre-zero-copy snapshot semantics).
+                data = data.tobytes()
+            dst.write(data, dst_offset)
         self._account(self.env.now - start, "dma")
 
     #: On-board DDR-to-DDR copy bandwidth (read + write on DDR3-capable
@@ -216,7 +232,14 @@ class FPGABoard:
     DDR_COPY_BANDWIDTH = 10.0e9
 
     def dma_read(self, buffer: DeviceBuffer, nbytes: int, offset: int = 0):
-        """Process: move ``nbytes`` device→host; returns the bytes."""
+        """Process: move ``nbytes`` device→host; returns a view.
+
+        Zero-copy: the returned ``memoryview`` is a live view of device
+        memory (functional boards) or of the shared zero page (timing-only
+        boards).  Callers that keep the data past the next operation on the
+        buffer must :func:`~repro.fpga.ddr.materialize` it — the command
+        layers do this at the user-facing read boundary.
+        """
         if nbytes < 0 or offset < 0 or offset + nbytes > buffer.size:
             raise ValueError(
                 f"read of {nbytes}@{offset} outside buffer size {buffer.size}"
@@ -226,7 +249,7 @@ class FPGABoard:
         self._account(self.env.now - start, "dma")
         if self.functional:
             return buffer.read(nbytes, offset)
-        return bytes(nbytes)
+        return zero_view(nbytes)
 
     # -- execution ----------------------------------------------------------
     def execute(self, kernel_name: str, arg_values: list):

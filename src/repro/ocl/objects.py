@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from itertools import count
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..fpga.ddr import materialize
 from ..sim import AllOf, Environment, Event
 from .errors import (
     CLError,
@@ -117,8 +118,14 @@ class CLEvent:
         self._fire_callbacks()
 
     def complete(self, value: Any = None) -> None:
-        """Mark the command complete with an optional result value."""
-        self.value = value
+        """Mark the command complete with an optional result value.
+
+        A read's live device view is materialized here — the user-facing
+        boundary of the zero-copy data plane, and the single real copy of
+        a functional read's round trip.  Zero-page views (timing-only
+        reads) pass through uncopied.
+        """
+        self.value = materialize(value)
         self.set_status(ExecutionStatus.COMPLETE)
 
     def fail(self, error: CLError) -> None:
@@ -410,7 +417,7 @@ class MemBuffer:
             # time; benchmarked code paths always use explicit enqueued
             # writes (see DESIGN.md).
             self._init_data: Optional[bytes] = bytes(
-                _as_bytes(hostbuf)[:size]
+                _as_payload(hostbuf)[:size]
             )
         else:
             self._init_data = None
@@ -544,7 +551,7 @@ class CommandQueue:
         buffer._check_live()
         check(buffer.context is self.context, CL_INVALID_CONTEXT,
               "buffer belongs to another context")
-        payload = _as_bytes(data)
+        payload = _as_payload(data)
         if nbytes is None:
             nbytes = len(payload) if payload is not None else buffer.size
         check(0 <= offset and offset + nbytes <= buffer.size,
@@ -716,13 +723,29 @@ class CommandQueue:
         return f"<CommandQueue #{self.id} on {self.device.name!r}>"
 
 
-def _as_bytes(data) -> Optional[bytes]:
-    """Accept bytes-like or numpy arrays for host payloads."""
-    if data is None:
-        return None
-    if isinstance(data, (bytes, bytearray, memoryview)):
-        return bytes(data)
-    tobytes = getattr(data, "tobytes", None)
-    if tobytes is not None:
-        return tobytes()
-    raise CLError(CL_INVALID_VALUE, f"unsupported host data {type(data)}")
+def _as_payload(data):
+    """Zero-copy adapter: normalize host data to a flat byte-oriented view.
+
+    Accepts bytes-like objects, memoryviews and numpy arrays (anything
+    exposing the buffer protocol).  ``bytes`` pass through as-is; everything
+    else becomes a ``memoryview`` cast to unsigned bytes — *no copy is
+    made*, mirroring real OpenCL where a non-blocking write captures the
+    host pointer and requires the memory to stay unchanged until the
+    command completes.  Only non-contiguous inputs pay a compaction copy.
+    """
+    if data is None or isinstance(data, bytes):
+        return data
+    try:
+        view = memoryview(data)
+    except TypeError:
+        tobytes = getattr(data, "tobytes", None)
+        if tobytes is not None:
+            return tobytes()
+        raise CLError(CL_INVALID_VALUE,
+                      f"unsupported host data {type(data)}") from None
+    if view.ndim != 1 or view.format != "B":
+        try:
+            view = view.cast("B")
+        except TypeError:
+            return view.tobytes()  # non-contiguous: copy is unavoidable
+    return view

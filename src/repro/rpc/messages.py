@@ -25,9 +25,16 @@ class RpcError(RuntimeError):
     """A failed remote call (the server answered with an error)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """One control message."""
+    """One control message.
+
+    Bulk data payloads (``payload["data"]``) are bytes-like and may be
+    *views* (``memoryview``/numpy) rather than ``bytes``: delivery never
+    copies them.  The data plane charges their transfer cost separately
+    (see :mod:`repro.rpc.transport`); materialization to immutable bytes
+    happens only at the read-completion boundary.
+    """
 
     method: str
     payload: Dict[str, Any] = field(default_factory=dict)

@@ -9,8 +9,7 @@ times) are expressed in seconds as well.
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+from heapq import heappop, heappush
 from typing import Any, Generator, Optional
 
 from .events import (
@@ -45,10 +44,16 @@ class Environment:
     1.5
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
-        self._eid = count()
+        #: Monotonic event id breaking ties at equal (time, priority); a
+        #: plain int (not itertools.count) — ``schedule`` is the hottest
+        #: call in the kernel and the sequence must stay 0, 1, 2, ... for
+        #: bit-identical event ordering.
+        self._eid = 0
         self._active_proc: Optional[Process] = None
 
     @property
@@ -87,9 +92,9 @@ class Environment:
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Enqueue ``event`` to be processed after ``delay`` seconds."""
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        eid = self._eid
+        self._eid = eid + 1
+        heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -100,7 +105,7 @@ class Environment:
     def step(self) -> None:
         """Process the next scheduled event, advancing the clock."""
         try:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
+            when, _prio, _eid, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
@@ -149,20 +154,32 @@ class Environment:
 
             stop_event.callbacks.append(_stop)
 
+        # The event loop below is :meth:`peek` + :meth:`step` inlined —
+        # these dominate multi-hour load tests (hundreds of thousands of
+        # iterations), so the queue and heappop are bound locally and no
+        # method dispatch happens per event.
+        queue = self._queue
+        pop = heappop
         while True:
             if stopped:
                 if stop_event is not None and not stop_event.ok:
                     raise result
                 return result
-            nxt = self.peek()
-            if nxt == float("inf"):
+            if not queue:
                 if stop_event is not None:
                     raise SimError("simulation ended before the awaited event")
                 return None
-            if stop_time is not None and nxt > stop_time:
+            if stop_time is not None and queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            when, _prio, _eid, event = pop(queue)
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if event._ok is False and not event.defused:
+                # Nobody handled this failure: surface it to run()'s caller.
+                raise event._value
 
 
 class Process(Event):
@@ -172,6 +189,8 @@ class Process(Event):
     (with the return value) or raises (as a failure).  Other processes can
     therefore ``yield`` a process to join it.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: Environment, generator: ProcessGenerator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -206,7 +225,7 @@ class Process(Event):
         interrupt_event._value = Interrupt(cause)
         interrupt_event.defused = True
         interrupt_event.callbacks = [self._resume]
-        self.env.schedule(interrupt_event, priority=URGENT)
+        self.env.schedule(interrupt_event, 0.0, URGENT)
 
         # Detach from the event we were waiting on so a later trigger of that
         # event does not resume us twice.
@@ -224,25 +243,31 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Resume the generator with the value (or failure) of ``event``."""
-        self.env._active_proc = self
+        env = self.env
+        env._active_proc = self
         self._target = None
+        # Bound methods are resolved once per resume, not once per yield —
+        # this callback runs for every step of every process.
+        send = self._generator.send
+        throw = self._generator.throw
+        schedule = env.schedule
         try:
             while True:
                 try:
                     if event._ok:
-                        next_event = self._generator.send(event._value)
+                        next_event = send(event._value)
                     else:
                         event.defused = True
-                        next_event = self._generator.throw(event._value)
+                        next_event = throw(event._value)
                 except StopIteration as stop:
                     self._ok = True
                     self._value = stop.value
-                    self.env.schedule(self, priority=NORMAL)
+                    schedule(self, 0.0, NORMAL)
                     break
                 except BaseException as exc:
                     self._ok = False
                     self._value = exc
-                    self.env.schedule(self, priority=NORMAL)
+                    schedule(self, 0.0, NORMAL)
                     break
 
                 if not isinstance(next_event, Event):
@@ -251,7 +276,7 @@ class Process(Event):
                     )
                     self._ok = False
                     self._value = exc
-                    self.env.schedule(self, priority=NORMAL)
+                    schedule(self, 0.0, NORMAL)
                     break
 
                 if next_event.callbacks is not None:
@@ -262,4 +287,4 @@ class Process(Event):
                 # Already processed: loop and resume immediately with it.
                 event = next_event
         finally:
-            self.env._active_proc = None
+            env._active_proc = None

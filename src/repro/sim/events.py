@@ -48,6 +48,11 @@ class Event:
     Processes wait for an event by yielding it.
     """
 
+    #: Events are the unit currency of the simulation — hundreds of
+    #: thousands are allocated per load test, so they carry no __dict__.
+    #: Subclasses outside this package may omit __slots__ and regain one.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
@@ -89,7 +94,7 @@ class Event:
             raise SimError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=NORMAL)
+        self.env.schedule(self, 0.0, NORMAL)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -100,7 +105,7 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, priority=NORMAL)
+        self.env.schedule(self, 0.0, NORMAL)
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -128,6 +133,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -135,7 +142,7 @@ class Timeout(Event):
         self._delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay, priority=NORMAL)
+        env.schedule(self, delay, NORMAL)
 
     @property
     def delay(self) -> float:
@@ -148,16 +155,20 @@ class Timeout(Event):
 class Initialize(Event):
     """Immediate event used internally to start a new process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self._ok = True
         self._value = None
         self.callbacks = [process._resume]
-        env.schedule(self, priority=URGENT)
+        env.schedule(self, 0.0, URGENT)
 
 
 class ConditionValue:
     """Ordered mapping of the events that triggered inside a condition."""
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: list[Event] = []
@@ -196,6 +207,8 @@ class Condition(Event):
     Use :class:`AllOf` / :class:`AnyOf` (or ``&`` / ``|``) rather than
     instantiating this directly.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -262,12 +275,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Event that triggers once all of ``events`` have triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Event that triggers once any of ``events`` has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, Condition.any_events, events)

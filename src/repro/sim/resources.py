@@ -31,6 +31,8 @@ class Request(Event):
             ...
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -49,6 +51,8 @@ class Request(Event):
 
 class PriorityRequest(Request):
     """A :class:`Request` with a priority (lower value is served first)."""
+
+    __slots__ = ("priority", "time")
 
     def __init__(self, resource: "PriorityResource", priority: int = 0):
         self.priority = priority
@@ -119,6 +123,8 @@ class PriorityResource(Resource):
 class StorePut(Event):
     """Event for putting an item into a :class:`Store`."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
@@ -128,6 +134,10 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Event for taking an item out of a :class:`Store`."""
+
+    #: ``filter`` is set only by :meth:`FilterStore.get`; plain-store gets
+    #: leave the slot unset and ``getattr(..., default)`` handles both.
+    __slots__ = ("_store", "filter")
 
     def __init__(self, store: "Store"):
         super().__init__(store.env)

@@ -1,0 +1,89 @@
+"""Copy-accounting and result invariance of the zero-copy data plane.
+
+``data/golden_table2.json`` was captured from the quick-mode Sobel Table II
+run *before* the zero-copy refactor (views instead of bytes through
+DDR → DMA → RPC → client) and the DES hot-path optimization.  Both changes
+must be timing-neutral and accounting-neutral: every simulated latency,
+utilization and throughput figure and every CopyStats counter must stay
+bit-for-bit identical.  A mismatch here means an optimization changed the
+simulation's behaviour, not just its speed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.tables import run_use_case
+
+GOLDEN = Path(__file__).parent / "data" / "golden_table2.json"
+
+
+@pytest.fixture(scope="module")
+def table2_report(monkeypatch_module):
+    monkeypatch_module.setenv("REPRO_QUICK", "1")
+    return run_use_case("sobel")
+
+
+@pytest.fixture(scope="module")
+def monkeypatch_module():
+    with pytest.MonkeyPatch.context() as mp:
+        yield mp
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+def _observed(scenario) -> dict:
+    return {
+        "functions": [
+            {
+                "function": f.function,
+                "node": f.node,
+                "device": f.device,
+                "utilization": repr(f.utilization),
+                "latency": repr(f.latency),
+                "processed": repr(f.processed),
+                "target": repr(f.target),
+            }
+            for f in scenario.functions
+        ],
+        "copies": scenario.copies,
+        "bytes_copied": scenario.bytes_copied,
+    }
+
+
+def test_every_golden_scenario_is_covered(table2_report, golden):
+    keys = {f"{rt}|{cfg}" for rt, cfg in table2_report}
+    assert keys == set(golden["scenarios"])
+
+
+def test_results_bit_identical_to_pre_zero_copy_goldens(table2_report,
+                                                        golden):
+    for (runtime, configuration), scenario in table2_report.items():
+        want = golden["scenarios"][f"{runtime}|{configuration}"]
+        got = _observed(scenario)
+        assert got["functions"] == want["functions"], (
+            f"{runtime}/{configuration}: simulated results drifted from "
+            f"the pre-zero-copy goldens"
+        )
+
+
+def test_copy_accounting_bit_identical(table2_report, golden):
+    for (runtime, configuration), scenario in table2_report.items():
+        want = golden["scenarios"][f"{runtime}|{configuration}"]
+        assert scenario.copies == want["copies"], (
+            f"{runtime}/{configuration}: data-plane copy count changed"
+        )
+        assert scenario.bytes_copied == want["bytes_copied"], (
+            f"{runtime}/{configuration}: data-plane byte count changed"
+        )
+
+
+def test_native_runtime_reports_no_transport_copies(table2_report):
+    for (runtime, _), scenario in table2_report.items():
+        if runtime == "native":
+            assert scenario.copies == 0
+            assert scenario.bytes_copied == 0

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fpga import MemoryAllocator, OutOfMemoryError
+from repro.fpga.ddr import is_zero_view, materialize, zero_view
 
 
 class TestAllocation:
@@ -137,3 +138,87 @@ class TestDeviceBuffer:
         assert buffer.read(4) == bytes(4)   # zeros
         with pytest.raises(RuntimeError):
             _ = buffer.data
+
+
+class TestZeroCopyViews:
+    """The zero-copy contract: reads are views, copies are explicit."""
+
+    def test_read_returns_memoryview(self):
+        allocator = MemoryAllocator(100, functional=True)
+        buffer = allocator.allocate(8)
+        assert isinstance(buffer.read(), memoryview)
+
+    def test_read_view_is_live(self):
+        allocator = MemoryAllocator(100, functional=True)
+        buffer = allocator.allocate(4)
+        view = buffer.read(4)
+        buffer.write(b"abcd")
+        assert bytes(view) == b"abcd"
+
+    def test_materialize_snapshots_live_views(self):
+        allocator = MemoryAllocator(100, functional=True)
+        buffer = allocator.allocate(4)
+        buffer.write(b"abcd")
+        snapshot = materialize(buffer.read(4))
+        buffer.write(b"wxyz")
+        assert snapshot == b"abcd"
+
+    def test_materialize_passes_through_bytes_none_and_zero_pages(self):
+        blob = b"payload"
+        assert materialize(blob) is blob
+        assert materialize(None) is None
+        view = zero_view(32)
+        assert materialize(view) is view
+
+    def test_zero_view_identity_survives_growth(self):
+        small = zero_view(8)
+        big = zero_view(64 << 20)  # force the page to grow past 64 KiB
+        assert is_zero_view(small)
+        assert is_zero_view(big)
+        assert big.nbytes == 64 << 20
+        assert not is_zero_view(memoryview(b"\0" * 8))
+
+    def test_timing_only_reads_share_the_zero_page(self):
+        allocator = MemoryAllocator(100, functional=False)
+        buffer = allocator.allocate(10)
+        assert is_zero_view(buffer.read(10))
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["write", "read"]),
+                st.integers(min_value=0, max_value=31),   # offset
+                st.integers(min_value=0, max_value=32),   # length
+                st.binary(min_size=0, max_size=32),       # payload source
+            ),
+            min_size=1, max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_view_semantics_match_bytes_model(self, ops):
+        """Property: the view-based buffer behaves exactly like the old
+        bytes-based implementation, modelled here by a plain bytearray."""
+        size = 32
+        allocator = MemoryAllocator(1024, functional=True)
+        buffer = allocator.allocate(size)
+        model = bytearray(size)
+        for kind, offset, length, payload in ops:
+            if kind == "write":
+                data = payload[:max(0, size - offset)]
+                buffer.write(data, offset)
+                model[offset:offset + len(data)] = data
+            else:
+                length = min(length, size - offset)
+                got = materialize(buffer.read(length, offset))
+                assert got == bytes(model[offset:offset + length])
+        assert materialize(buffer.read()) == bytes(model)
+
+    @given(data=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_write_accepts_any_bytes_like(self, data):
+        allocator = MemoryAllocator(1024, functional=True)
+        for payload in (data, bytearray(data), memoryview(data),
+                        np.frombuffer(data, dtype=np.uint8)):
+            buffer = allocator.allocate(len(data))
+            buffer.write(payload)
+            assert materialize(buffer.read()) == data
