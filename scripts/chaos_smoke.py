@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Chaos smoke: gate the failure-recovery stack in CI.
+
+Runs the quick-mode chaos scenario — the Table-II Sobel load under 1%
+control-message loss with a Device Manager crash and restart mid-run —
+and fails if any of the acceptance invariants breaks:
+
+* **deadlock** — the run not finishing, any client CL-event FSM left
+  unresolved, or any load generator stranded (``run_guarded`` inside the
+  harness turns a hang into a hard failure with diagnostics);
+* **availability** — fewer than 99 % of resolved in-window requests
+  succeeding despite the injected faults;
+* **golden drift** — the seeded run's digest no longer matching
+  ``tests/experiments/data/golden_chaos.json`` (the run is
+  bit-reproducible; any drift is a real behaviour change and the golden
+  must be regenerated deliberately with ``--update``).
+
+Usage: ``REPRO_QUICK=1 PYTHONPATH=src python scripts/chaos_smoke.py``
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+GOLDEN = ROOT / "tests" / "experiments" / "data" / "golden_chaos.json"
+MIN_AVAILABILITY = 0.99
+
+
+def main() -> int:
+    os.environ["REPRO_QUICK"] = "1"
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.experiments.chaos import run_chaos
+
+    result = run_chaos()
+    digest = result.to_golden()
+    print(json.dumps(digest, indent=2))
+
+    failures = []
+    if result.hung_events:
+        failures.append(
+            f"deadlock: {result.hung_events} client event FSM(s) never "
+            "resolved"
+        )
+    if result.availability < MIN_AVAILABILITY:
+        failures.append(
+            f"availability {result.availability:.4f} below the "
+            f"{MIN_AVAILABILITY:.0%} floor"
+        )
+    if result.device_failures < 1:
+        failures.append("the injected crash was never detected")
+
+    if "--update" in sys.argv[1:]:
+        GOLDEN.write_text(json.dumps(digest, indent=2, sort_keys=True)
+                          + "\n")
+        print(f"golden rewritten: {GOLDEN}")
+    elif GOLDEN.exists():
+        golden = json.loads(GOLDEN.read_text())
+        if digest != golden:
+            drift = [
+                key for key in sorted(set(golden) | set(digest))
+                if golden.get(key) != digest.get(key)
+            ]
+            failures.append(f"golden drift in {drift}; regenerate "
+                            "deliberately with --update")
+    else:
+        failures.append(f"missing golden file {GOLDEN}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

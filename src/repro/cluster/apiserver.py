@@ -61,6 +61,26 @@ class Cluster:
         except KeyError:
             raise KeyError(f"unknown node {name!r}") from None
 
+    def fail_node(self, name: str) -> List[Pod]:
+        """Mark a node NotReady and evict its pods (kubelet gone).
+
+        Returns the evicted pods; each is terminated through the normal
+        delete path so watchers (the function controller) observe the
+        deletions and can respawn elsewhere.
+        """
+        node = self.node(name)
+        node.ready = False
+        evicted = []
+        for pod in list(node.pods.values()):
+            evicted.append(self.delete_pod(pod.name))
+        return evicted
+
+    def recover_node(self, name: str) -> ClusterNode:
+        """Bring a failed node back into scheduling rotation."""
+        node = self.node(name)
+        node.ready = True
+        return node
+
     # -- hooks & watches -------------------------------------------------------
     def add_admission_hook(self, hook: AdmissionHook) -> None:
         self._admission_hooks.append(hook)
@@ -126,12 +146,15 @@ class Cluster:
                 node = self.node(pod.spec.node_name)
             except KeyError as exc:
                 raise SchedulingError(str(exc)) from exc
+            if not node.ready:
+                raise SchedulingError(f"node {node.name!r} is not ready")
         else:
             # Spread by pod count (kube-scheduler's least-allocated flavour),
             # breaking ties round-robin for determinism.
-            ordered = sorted(
-                self.nodes.values(), key=lambda n: (len(n.pods), n.name)
-            )
+            ready = [n for n in self.nodes.values() if n.ready]
+            if not ready:
+                raise SchedulingError("no ready node in the cluster")
+            ordered = sorted(ready, key=lambda n: (len(n.pods), n.name))
             node = ordered[0]
         pod.node = node
         node.pods[pod.name] = pod

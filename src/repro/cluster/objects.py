@@ -89,6 +89,8 @@ class ClusterNode:
         self.host = host
         self.board = board
         self.pods: Dict[str, Pod] = {}
+        #: False while the node is failed; the scheduler skips it.
+        self.ready = True
 
     @property
     def name(self) -> str:

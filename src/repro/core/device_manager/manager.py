@@ -15,23 +15,43 @@ Implements Section III-B of the paper:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional
 
 from ...fpga.bitstream import Bitstream, BitstreamLibrary
-from ...fpga.board import FPGABoard
+from ...fpga.board import (
+    BoardError,
+    BoardUnavailableError,
+    FPGABoard,
+    KernelFault,
+    ReconfigurationError,
+)
 from ...fpga.ddr import DeviceBuffer, OutOfMemoryError, materialize
 from ...metrics import MetricsRegistry
+from ...ocl.errors import (
+    CL_BUILD_PROGRAM_FAILURE,
+    CL_DEVICE_NOT_AVAILABLE,
+    CL_INVALID_BINARY,
+    CL_INVALID_BUFFER_SIZE,
+    CL_INVALID_KERNEL_NAME,
+    CL_INVALID_MEM_OBJECT,
+    CL_INVALID_OPERATION,
+    CL_INVALID_VALUE,
+    CL_MEM_OBJECT_ALLOCATION_FAILURE,
+    CL_OUT_OF_RESOURCES,
+)
 from ...rpc import (
     Message,
     Network,
     NetworkHost,
     RpcEndpoint,
+    RpcError,
     Transport,
     reply,
     reply_error,
     send_to_client,
 )
-from ...sim import Environment, Event, Interrupt
+from ...sim import AnyOf, Environment, Event, Interrupt
 from . import protocol
 from .schedulers import TaskScheduler, make_scheduler
 from .tasks import Operation, OpType, Task, TaskAccumulator
@@ -57,7 +77,34 @@ class ClientSession:
 
 
 class DeviceManagerError(RuntimeError):
-    """Protocol/resource error raised while serving a client request."""
+    """Protocol/resource error raised while serving a client request.
+
+    ``cl_code`` is the structured OpenCL error code surfaced to the
+    client (``CL_INVALID_OPERATION`` when nothing more specific applies).
+    """
+
+    def __init__(self, message: str, cl_code: Optional[int] = None):
+        super().__init__(message)
+        self.cl_code = (cl_code if cl_code is not None
+                        else CL_INVALID_OPERATION)
+
+
+def _error_code(exc: Exception) -> int:
+    """Map a server-side failure to the OpenCL error code clients see."""
+    code = getattr(exc, "cl_code", None)
+    if code is not None:
+        return code
+    if isinstance(exc, OutOfMemoryError):
+        return CL_MEM_OBJECT_ALLOCATION_FAILURE
+    if isinstance(exc, KernelFault):
+        return CL_OUT_OF_RESOURCES
+    if isinstance(exc, ReconfigurationError):
+        return CL_BUILD_PROGRAM_FAILURE
+    if isinstance(exc, BoardUnavailableError):
+        return CL_DEVICE_NOT_AVAILABLE
+    if isinstance(exc, ValueError):
+        return CL_INVALID_VALUE
+    return CL_INVALID_OPERATION
 
 
 class DeviceManager:
@@ -78,6 +125,7 @@ class DeviceManager:
         batching: bool = True,
         workers: Optional[int] = None,
         scheduler: "str | TaskScheduler" = "fifo",
+        data_timeout: Optional[float] = None,
     ):
         self.env = env
         self.name = name
@@ -106,6 +154,19 @@ class DeviceManager:
         self.op_listeners: list[Callable[[Operation], None]] = []
         #: Observers called with each Task after it finishes.
         self.task_listeners: list[Callable[[Task], None]] = []
+        #: How long a worker waits for a lost WRITE_DATA payload before
+        #: failing the op (``None`` = forever, the pre-fault behavior).
+        self.data_timeout = data_timeout
+        #: False after :meth:`crash` until :meth:`restart`.
+        self.alive = True
+        self.crashes = 0
+        #: Streamed messages dropped because no handler could serve them
+        #: (unknown client after a restart, unknown write tag, ...).
+        self.rejected_messages = 0
+        #: Recent unary replies keyed by (client, request id): an at-least-
+        #: once retry of an already-executed request replays its reply
+        #: instead of re-executing — what makes client retries idempotent.
+        self._replies: "OrderedDict[tuple, tuple]" = OrderedDict()
 
         self.metrics = MetricsRegistry(namespace="dm")
         self._m_busy = self.metrics.counter(
@@ -138,8 +199,9 @@ class DeviceManager:
         # One worker per PR slot (space-sharing boards execute one task per
         # slot concurrently); classic boards get the single FIFO worker.
         worker_count = workers if workers is not None else board.slot_count
+        self._worker_count = max(1, worker_count)
         self._worker_procs = [
-            env.process(self._worker()) for _ in range(max(1, worker_count))
+            env.process(self._worker()) for _ in range(self._worker_count)
         ]
 
     # ------------------------------------------------------------------ API
@@ -157,28 +219,127 @@ class DeviceManager:
             if process.is_alive:
                 process.interrupt("device manager stopped")
 
+    @property
+    def healthy(self) -> bool:
+        return self.alive
+
+    def crash(self) -> None:
+        """Fail-stop the manager process.
+
+        Sessions, queued tasks, pending write payloads, cached replies and
+        everything in flight to the server are lost, exactly as when a
+        real manager process dies.  The board itself keeps its bitstream.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self.stop()
+        self.sessions.clear()
+        self._m_clients.set(0)
+        self._pending_writes.clear()
+        self._replies.clear()
+        self.accumulator = TaskAccumulator()
+        self.scheduler.clear()
+        self._m_queue_depth.set(0)
+        # A dead server's socket drops whatever was in flight to it.
+        self.endpoint.inbox.items.clear()
+
+    def restart(self) -> None:
+        """Start a fresh manager process on the same board.
+
+        Clients must reconnect: their old sessions died with the crash.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self._serve_proc = self.env.process(self._serve())
+        self._worker_procs = [
+            self.env.process(self._worker())
+            for _ in range(self._worker_count)
+        ]
+
+    def kill_worker(self, index: int = 0) -> None:
+        """Kill one worker process (its current task dies with it)."""
+        process = self._worker_procs[index]
+        if process.is_alive:
+            process.interrupt("worker killed")
+
     # ------------------------------------------------------------- dispatcher
+    #: Unary replies remembered for retry deduplication.
+    REPLY_CACHE_SIZE = 512
+
     def _serve(self):
         """gRPC server loop: dispatch inbox messages by method group."""
         try:
             while True:
                 message: Message = yield self.endpoint.inbox.get()
+                # Capture the reply path up front: a handler may tear the
+                # session down (DISCONNECT) before the reply goes out.
+                reply_transport = None
+                key = None
+                if message.reply_to is not None:
+                    session = self._session_of(message)
+                    reply_transport = (
+                        session.transport if session is not None
+                        else message.payload.get("transport")
+                    )
+                    key = (message.sender, message.id)
+                    cached = self._replies.get(key)
+                    if cached is not None:
+                        # At-least-once retry of an executed request:
+                        # replay the reply, never re-execute.
+                        self.env.process(self._replay_reply(message, cached))
+                        continue
                 handler = self._handlers().get(message.method)
                 if handler is None:
                     if message.reply_to is not None:
-                        session = self._session_of(message)
                         yield from reply_error(
-                            session.transport if session else
-                            message.payload.get("transport"),
-                            message,
+                            reply_transport, message,
                             DeviceManagerError(
                                 f"unknown method {message.method!r}"
                             ),
                         )
+                    else:
+                        self.rejected_messages += 1
                     continue
-                yield from handler(message)
+                try:
+                    yield from handler(message)
+                except Interrupt:
+                    raise
+                except (DeviceManagerError, BoardError) as exc:
+                    # A bad request must not kill the server: answer unary
+                    # calls with a structured error, drop stray streamed
+                    # messages (e.g. from sessions lost in a crash).
+                    if (message.reply_to is not None
+                            and reply_transport is not None
+                            and not message.reply_to.triggered):
+                        yield from reply_error(
+                            reply_transport, message,
+                            RpcError(str(exc), code=_error_code(exc)),
+                        )
+                    else:
+                        self.rejected_messages += 1
+                if key is not None and message.reply_to.triggered:
+                    self._cache_reply(key, reply_transport, message.reply_to)
         except Interrupt:
             return
+
+    def _cache_reply(self, key, transport, reply_event) -> None:
+        self._replies[key] = (transport, reply_event.ok, reply_event.value)
+        if len(self._replies) > self.REPLY_CACHE_SIZE:
+            self._replies.popitem(last=False)
+
+    def _replay_reply(self, message: Message, cached):
+        """Process: answer a duplicate request from the reply cache."""
+        transport, ok, value = cached
+        yield from transport.control_to_client()
+        if message.reply_to.triggered:
+            return  # a duplicated delivery of an already-answered message
+        if ok:
+            message.reply_to.succeed(value)
+        else:
+            message.reply_to.fail(value)
 
     def _handlers(self):
         return {
@@ -205,7 +366,10 @@ class DeviceManager:
     def _require_session(self, message: Message) -> ClientSession:
         session = self.sessions.get(message.sender)
         if session is None:
-            raise DeviceManagerError(f"unknown client {message.sender!r}")
+            # Typically a client whose session died with a manager crash:
+            # it must reconnect before anything else.
+            raise DeviceManagerError(f"unknown client {message.sender!r}",
+                                     CL_DEVICE_NOT_AVAILABLE)
         return session
 
     # -- context and information methods (synchronous) -----------------------
@@ -253,7 +417,11 @@ class DeviceManager:
         try:
             buffer = self.board.allocate(size)
         except (OutOfMemoryError, ValueError) as exc:
-            yield from reply_error(session.transport, message, exc)
+            code = (CL_MEM_OBJECT_ALLOCATION_FAILURE
+                    if isinstance(exc, OutOfMemoryError)
+                    else CL_INVALID_BUFFER_SIZE)
+            yield from reply_error(session.transport, message,
+                                   RpcError(str(exc), code=code))
             return
         init_data = message.payload.get("data")
         if init_data is not None and self.board.functional:
@@ -268,7 +436,8 @@ class DeviceManager:
         if buffer is None:
             yield from reply_error(
                 session.transport, message,
-                DeviceManagerError(f"unknown buffer {buffer_id}"),
+                DeviceManagerError(f"unknown buffer {buffer_id}",
+                                   CL_INVALID_MEM_OBJECT),
             )
             return
         if not buffer.freed:
@@ -282,7 +451,8 @@ class DeviceManager:
         try:
             bitstream = self.library.get(binary)
         except KeyError as exc:
-            yield from reply_error(session.transport, message, exc)
+            yield from reply_error(session.transport, message,
+                                   RpcError(str(exc), code=CL_INVALID_BINARY))
             return
         if any(slot is bitstream for slot in self.board.slots):
             # Some slot already runs this image.
@@ -305,7 +475,8 @@ class DeviceManager:
             yield from reply_error(
                 session.transport, message,
                 DeviceManagerError(
-                    f"reconfiguration to {binary!r} denied by registry"
+                    f"reconfiguration to {binary!r} denied by registry",
+                    CL_BUILD_PROGRAM_FAILURE,
                 ),
             )
             return
@@ -325,7 +496,9 @@ class DeviceManager:
             bitstream = self.library.get(binary)
             kernel = bitstream.kernel(kernel_name)
         except KeyError as exc:
-            yield from reply_error(session.transport, message, exc)
+            yield from reply_error(
+                session.transport, message,
+                RpcError(str(exc), code=CL_INVALID_KERNEL_NAME))
             return
         kernel_id = session.new_kernel_id()
         session.kernels[kernel_id] = (binary, kernel_name)
@@ -472,7 +645,8 @@ class DeviceManager:
             self._notify(session, Message(
                 method=protocol.OP_FAILED, tag=operation.tag,
                 payload={"error": "task aborted after an earlier operation "
-                                  "failed"},
+                                  "failed",
+                         "code": CL_INVALID_OPERATION},
                 sender=self.name,
             ))
 
@@ -483,16 +657,34 @@ class DeviceManager:
             return False  # client disconnected while the task was queued
         if operation.needs_data() and operation.data_ready is not None:
             if not operation.data_ready.triggered:
-                yield operation.data_ready
+                if self.data_timeout is None:
+                    yield operation.data_ready
+                else:
+                    expiry = self.env.timeout(self.data_timeout)
+                    yield AnyOf(self.env, [operation.data_ready, expiry])
+                    if not operation.data_ready.triggered:
+                        # The WRITE_DATA payload was lost on the wire: fail
+                        # the op instead of wedging this worker forever.
+                        self._pending_writes.pop(operation.tag, None)
+                        self._notify(session, Message(
+                            method=protocol.OP_FAILED, tag=operation.tag,
+                            payload={"error": "write payload never arrived",
+                                     "code": CL_INVALID_OPERATION},
+                            sender=self.name,
+                        ))
+                        return False
         yield self.env.timeout(self.OP_OVERHEAD)
         started = self.env.now
         operation.started_at = started
         try:
             result = yield from self._execute(session, operation)
+        except Interrupt:
+            raise  # manager crash/worker kill, not an operation failure
         except Exception as exc:  # noqa: BLE001 - converted to notification
             self._notify(session, Message(
                 method=protocol.OP_FAILED, tag=operation.tag,
-                payload={"error": str(exc)}, sender=self.name,
+                payload={"error": str(exc), "code": _error_code(exc)},
+                sender=self.name,
             ))
             return False
         operation.finished_at = self.env.now
@@ -582,7 +774,8 @@ class DeviceManager:
             return session.buffers[int(buffer_id)]
         except (KeyError, TypeError) as exc:
             raise DeviceManagerError(
-                f"client {session.name!r} has no buffer {buffer_id!r}"
+                f"client {session.name!r} has no buffer {buffer_id!r}",
+                CL_INVALID_MEM_OBJECT,
             ) from exc
 
     def _kernel(self, session: ClientSession, kernel_id):
@@ -590,5 +783,6 @@ class DeviceManager:
             return session.kernels[int(kernel_id)]
         except (KeyError, TypeError) as exc:
             raise DeviceManagerError(
-                f"client {session.name!r} has no kernel {kernel_id!r}"
+                f"client {session.name!r} has no kernel {kernel_id!r}",
+                CL_INVALID_KERNEL_NAME,
             ) from exc

@@ -50,6 +50,13 @@ class TaskScheduler(abc.ABC):
     def set_client_weight(self, client: str, weight: float) -> None:
         """SLA hint (ignored by weight-agnostic policies)."""
 
+    def clear(self) -> None:
+        """Drop every queued task (Device Manager crash).
+
+        All concrete schedulers keep their backlog in ``self._queue``.
+        """
+        self._queue.items.clear()
+
 
 class FIFOScheduler(TaskScheduler):
     """The paper's policy: strict arrival order."""

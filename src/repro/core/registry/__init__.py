@@ -13,6 +13,7 @@ from .allocation import (
     redistribution_plan,
 )
 from .gatherer import MetricsGatherer
+from .health import REGISTRY_HOST, HealthMonitor
 from .registry import MANAGER_ENV, AcceleratorsRegistry
 from .services import (
     DeviceRecord,
@@ -31,8 +32,10 @@ __all__ = [
     "DeviceView",
     "FunctionRecord",
     "FunctionsService",
+    "HealthMonitor",
     "InstanceRecord",
     "MANAGER_ENV",
+    "REGISTRY_HOST",
     "MetricFilter",
     "MetricsGatherer",
     "allocate",

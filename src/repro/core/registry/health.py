@@ -1,0 +1,112 @@
+"""Heartbeat/lease protocol between Device Managers and the Registry.
+
+Every Device Manager renews a lease by sending a heartbeat control message
+to the Registry's well-known endpoint.  Heartbeats ride the same simulated
+network as everything else, so partitions and message loss from the fault
+plane delay or eat them — exactly how a real lease protocol misfires.
+
+A manager only heartbeats while its server process is alive *and* its board
+responds; a crashed manager or a locked-up board stops beating, the lease
+expires after :attr:`~repro.faults.HealthPolicy.lease_timeout`, and the
+Registry marks the device dead — deallocating it and migrating its
+instances through Algorithm 1.  A later heartbeat (restart/recovery)
+revives the device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...faults import HealthPolicy
+from ...rpc import Message, Network, RpcEndpoint, make_transport
+from ...sim import Environment, Interrupt
+
+#: Network identity of the Registry (the cluster master node).
+REGISTRY_HOST = "registry"
+
+HEARTBEAT = "Heartbeat"
+
+
+class HealthMonitor:
+    """Lease bookkeeping on the Registry side plus per-manager beaters."""
+
+    def __init__(self, env: Environment, registry, network: Network,
+                 policy: HealthPolicy | None = None):
+        self.env = env
+        self.registry = registry
+        self.network = network
+        self.policy = policy if policy is not None else HealthPolicy()
+        self.host = network.host(REGISTRY_HOST)
+        self.inbox = RpcEndpoint(env, "registry/heartbeats")
+        #: Last lease renewal per device, simulation seconds.
+        self.last_seen: Dict[str, float] = {}
+        #: (time, device) log of detected failures / recoveries.
+        self.failures_detected: List[Tuple[float, str]] = []
+        self.recoveries_detected: List[Tuple[float, str]] = []
+        self._procs = []
+        for record in registry.devices.all():
+            self.watch_manager(record.manager)
+        self._procs.append(env.process(self._receiver()))
+        self._procs.append(env.process(self._checker()))
+
+    def stop(self) -> None:
+        for process in self._procs:
+            if process.is_alive:
+                process.interrupt("health monitor stopped")
+
+    def watch_manager(self, manager) -> None:
+        """Start a heartbeat sender on a manager's node."""
+        transport = make_transport(self.env, self.network, manager.node,
+                                   self.host)
+        self.last_seen[manager.name] = self.env.now
+        self._procs.append(self.env.process(self._beat(manager, transport)))
+
+    # -- processes -----------------------------------------------------------
+    def _beat(self, manager, transport):
+        """Process: renew one manager's lease while it is actually healthy."""
+        try:
+            while True:
+                yield self.env.timeout(self.policy.heartbeat_interval)
+                if manager.healthy and manager.board.alive:
+                    yield from transport.deliver_to_server(
+                        self.inbox,
+                        Message(method=HEARTBEAT, sender=manager.name),
+                    )
+        except Interrupt:
+            return
+
+    def _receiver(self):
+        """Process: renew leases; revive devices that beat after death."""
+        try:
+            while True:
+                message: Message = yield self.inbox.inbox.get()
+                name = message.sender
+                self.last_seen[name] = self.env.now
+                try:
+                    record = self.registry.devices.get(name)
+                except KeyError:
+                    continue
+                if not record.alive:
+                    self.recoveries_detected.append((self.env.now, name))
+                    self.registry.on_device_recovery(name)
+        except Interrupt:
+            return
+
+    def _checker(self):
+        """Process: expire stale leases and trigger failure handling."""
+        try:
+            while True:
+                yield self.env.timeout(self.policy.heartbeat_interval)
+                now = self.env.now
+                for name, seen in sorted(self.last_seen.items()):
+                    if now - seen <= self.policy.lease_timeout:
+                        continue
+                    try:
+                        record = self.registry.devices.get(name)
+                    except KeyError:
+                        continue
+                    if record.alive:
+                        self.failures_detected.append((now, name))
+                        self.registry.on_device_failure(name)
+        except Interrupt:
+            return

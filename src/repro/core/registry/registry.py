@@ -78,6 +78,9 @@ class AcceleratorsRegistry:
         self.migrator: Optional[Migrator] = None
         self.allocations = 0
         self.migrations = 0
+        self.device_failures = 0
+        #: Heartbeat/lease monitor, armed by :meth:`enable_health`.
+        self.health = None
 
         for manager in managers:
             self.register_manager(manager)
@@ -93,6 +96,8 @@ class AcceleratorsRegistry:
             self.gatherer.scraper.add_target(
                 manager.name, manager.metrics, node=manager.node.name
             )
+        if self.health is not None:
+            self.health.watch_manager(manager)
 
     def deregister_manager(self, manager_name: str) -> bool:
         """Forget a retired device; refuses while instances are allocated."""
@@ -113,9 +118,15 @@ class AcceleratorsRegistry:
         self.functions.register(name, query)
 
     def device_views(self) -> List[DeviceView]:
-        """Snapshot the Devices Service + Metrics Gatherer for Algorithm 1."""
+        """Snapshot the Devices Service + Metrics Gatherer for Algorithm 1.
+
+        Dead devices are excluded: Algorithm 1 only ever allocates (or
+        migrates) onto boards whose lease is current.
+        """
         views = []
         for record in self.devices.all():
+            if not record.alive:
+                continue
             metrics = (
                 self.gatherer.device_metrics(record.name)
                 if self.gatherer
@@ -187,6 +198,78 @@ class AcceleratorsRegistry:
                 # No serverless controller attached: plain delete; the
                 # deployment layer (if any) recreates.
                 self.cluster.delete_pod(instance_name)
+
+    # -- failure detection and recovery ---------------------------------------
+    def enable_health(self, network=None, policy=None):
+        """Arm the heartbeat/lease protocol between managers and Registry.
+
+        Returns the :class:`~repro.core.registry.health.HealthMonitor`.
+        Without this call no health machinery runs at all (the default).
+        """
+        from .health import HealthMonitor
+
+        if self.health is not None:
+            return self.health
+        if network is None:
+            records = self.devices.all()
+            if not records:
+                raise ValueError("no managers registered: pass network=")
+            network = records[0].manager.network
+        self.health = HealthMonitor(self.env, self, network, policy)
+        return self.health
+
+    def on_device_failure(self, device_name: str) -> List[str]:
+        """Mark a device dead, deallocate it, migrate its instances.
+
+        This is the registry half of the paper's allocation loop applied
+        to failures: the dead board leaves the Devices Service's usable
+        set, and every instance allocated to it is re-run through
+        Algorithm 1 via the create-before-delete migrator.  Returns the
+        affected instance names.
+        """
+        try:
+            record = self.devices.get(device_name)
+        except KeyError:
+            return []
+        if not record.alive:
+            return []
+        record.alive = False
+        record.pending_bitstream = None
+        self.device_failures += 1
+        affected = sorted(record.instances)
+        for instance_name in affected:
+            instance = self.functions.instance(instance_name)
+            if instance is None:
+                continue
+            self.migrations += 1
+            self.env.process(
+                self._evacuate(instance_name, instance.function)
+            )
+        return affected
+
+    def _evacuate(self, instance_name: str, function: str):
+        """Process: move one instance off a dead device.
+
+        Algorithm 1 (inside the admission hook the migrator triggers)
+        picks the target among live devices; when no compatible device is
+        left the pod is shed with a plain delete — graceful degradation,
+        the endpoint queue upstream holds requests until capacity returns.
+        """
+        try:
+            if self.migrator is not None:
+                yield from self.migrator(instance_name, function)
+            else:
+                self.cluster.delete_pod(instance_name)
+        except Exception:  # noqa: BLE001 - no live target for the move
+            self.cluster.delete_pod(instance_name)
+
+    def on_device_recovery(self, device_name: str) -> None:
+        """A dead device heartbeats again: return it to the usable set."""
+        try:
+            record = self.devices.get(device_name)
+        except KeyError:
+            return
+        record.alive = True
 
     # -- watch ------------------------------------------------------------------
     def _on_watch(self, event: WatchEvent) -> None:

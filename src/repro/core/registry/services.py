@@ -28,6 +28,9 @@ class DeviceRecord:
     pending_bitstream: Optional[str] = None
     #: Instance names currently allocated to this device.
     instances: Set[str] = field(default_factory=set)
+    #: False once the Registry marks the device dead (lease expired);
+    #: Algorithm 1 never considers dead devices.
+    alive: bool = True
 
     @property
     def configured_bitstream(self) -> Optional[str]:

@@ -16,13 +16,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from ...faults import RetryPolicy
+from ...ocl.errors import CL_DEVICE_NOT_AVAILABLE
 from ...rpc import (
     Message,
     Network,
     NetworkHost,
     RpcEndpoint,
+    RpcTimeout,
     Transport,
     make_transport,
+    new_request_id,
     unary_call,
 )
 from ...sim import Environment, Event, Interrupt, Store
@@ -56,9 +60,16 @@ class Connection:
         manager_endpoint: RpcEndpoint,
         manager_host: NetworkHost,
         prefer_shm: bool = True,
+        recovery: Optional[RetryPolicy] = None,
     ):
         self.env = env
         self.client_name = client_name
+        #: ``None`` (default) = no deadlines, no retries, no op guards —
+        #: the exact pre-recovery behavior.  A :class:`RetryPolicy` arms
+        #: idempotent retries for unary calls and a per-op deadline that
+        #: resolves stuck event machines to an error.
+        self.recovery = recovery
+        self.retries = 0
         self.network = network
         self.manager_endpoint = manager_endpoint
         self.transport: Transport = make_transport(
@@ -94,15 +105,49 @@ class Connection:
         for process in (self._sender_proc, self._dispatcher_proc):
             if process.is_alive:
                 process.interrupt("connection closed")
+        # Any machine still in flight can never hear back once the
+        # dispatcher stops: resolve it to a structured error, not a hang.
+        for machine in list(self._machines.values()):
+            machine.on_notification(Message(
+                method=protocol.OP_FAILED,
+                payload={"error": "connection closed with operation in "
+                                  "flight", "code": CL_DEVICE_NOT_AVAILABLE},
+                sender="local", tag=machine.tag,
+            ))
+        self._machines.clear()
 
     # -- unary (context and information) calls ----------------------------------
     def call(self, method: str, payload: dict):
-        """Process: synchronous unary call to the manager."""
-        result = yield from unary_call(
-            self.transport, self.manager_endpoint, method, payload,
-            sender=self.client_name,
-        )
-        return result
+        """Process: synchronous unary call to the manager.
+
+        With a recovery policy armed the call carries a gRPC-style
+        deadline and is retried with exponential backoff under a stable
+        request id, so the manager can dedupe re-executions; an error
+        *reply* is a definitive answer and is never retried.
+        """
+        policy = self.recovery
+        if policy is None:
+            result = yield from unary_call(
+                self.transport, self.manager_endpoint, method, payload,
+                sender=self.client_name,
+            )
+            return result
+        request_id = new_request_id()
+        last_error: Optional[Exception] = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.retries += 1
+                yield self.env.timeout(policy.backoff(attempt - 1))
+            try:
+                result = yield from unary_call(
+                    self.transport, self.manager_endpoint, method, payload,
+                    sender=self.client_name, timeout=policy.deadline,
+                    request_id=request_id,
+                )
+                return result
+            except RpcTimeout as exc:
+                last_error = exc
+        raise last_error
 
     def call_async(self, method: str, payload: dict) -> Event:
         """Issue a unary call in the background; returns an event with the
@@ -124,6 +169,23 @@ class Connection:
     # -- streamed command-queue calls ---------------------------------------
     def register_machine(self, machine: RemoteEventMachine) -> None:
         self._machines[machine.tag] = machine
+        policy = self.recovery
+        if policy is not None and policy.op_deadline is not None:
+            self.env.process(self._op_guard(machine.tag, policy.op_deadline))
+
+    def _op_guard(self, tag: Any, deadline: float):
+        """Process: resolve an op stuck past its deadline to an error.
+
+        The guard simply wakes at the deadline; if the machine already
+        reached COMPLETE/FAILED it was forgotten and this is a no-op, so
+        no cancellation bookkeeping is needed.
+        """
+        yield self.env.timeout(deadline)
+        if tag in self._machines:
+            self._fail_machine(
+                tag, f"operation deadline of {deadline}s exceeded",
+                code=CL_DEVICE_NOT_AVAILABLE,
+            )
 
     def forget(self, tag: Any) -> None:
         self._machines.pop(tag, None)
@@ -187,8 +249,8 @@ class Connection:
                     yield from self.transport.data_to_server(item.data_nbytes)
                     # Bulk payloads ride the data plane; a slim control
                     # message still announces them.
-                yield from self.transport.control_to_server()
-                self.manager_endpoint.deliver(item.message)
+                yield from self.transport.deliver_to_server(
+                    self.manager_endpoint, item.message)
         except Interrupt:
             return
 
@@ -204,11 +266,13 @@ class Connection:
                 return False
         return True
 
-    def _fail_machine(self, tag: Any, error: str) -> None:
+    def _fail_machine(self, tag: Any, error: str,
+                      code: Optional[int] = None) -> None:
         machine = self._machines.get(tag)
         if machine is not None:
             machine.on_notification(Message(
-                method=protocol.OP_FAILED, payload={"error": error},
+                method=protocol.OP_FAILED,
+                payload={"error": error, "code": code},
                 sender="local", tag=tag,
             ))
 

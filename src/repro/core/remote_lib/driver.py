@@ -143,9 +143,12 @@ class RemoteDriver(Driver):
             try:
                 result = yield result_event
             except RpcError as exc:
-                handle.reject(
-                    CLError(CL_MEM_OBJECT_ALLOCATION_FAILURE, str(exc))
-                )
+                code = getattr(exc, "code", None)
+                handle.reject(CLError(
+                    code if code is not None
+                    else CL_MEM_OBJECT_ALLOCATION_FAILURE,
+                    str(exc),
+                ))
             else:
                 handle.resolve(int(result[key]))
 
@@ -159,7 +162,11 @@ class RemoteDriver(Driver):
                 protocol.BUILD_PROGRAM, {"binary": program.binary_name}
             )
         except RpcError as exc:
-            raise CLError(CL_BUILD_PROGRAM_FAILURE, str(exc)) from exc
+            code = getattr(exc, "code", None)
+            raise CLError(
+                code if code is not None else CL_BUILD_PROGRAM_FAILURE,
+                str(exc),
+            ) from exc
         return program
 
     # -- command plane ------------------------------------------------------------

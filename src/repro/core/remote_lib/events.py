@@ -56,14 +56,23 @@ class RemoteEventMachine:
     def is_write(self) -> bool:
         return self._write_nbytes > 0 or self._write_payload is not None
 
+    @property
+    def terminal(self) -> bool:
+        return self.state in (FsmState.COMPLETE, FsmState.FAILED)
+
     def on_notification(self, message: Message) -> None:
         """Advance on a Device Manager notification (connection thread)."""
+        if self.terminal:
+            # COMPLETE/FAILED are absorbing: duplicated or straggling
+            # notifications after the event resolved are dropped.
+            return
         if message.method == protocol.OP_ENQUEUED:
             self._on_enqueued()
         elif message.method == protocol.OP_COMPLETE:
             self._on_complete(message.payload.get("data"))
         elif message.method == protocol.OP_FAILED:
-            self._on_failed(message.payload.get("error", "remote failure"))
+            self._on_failed(message.payload.get("error", "remote failure"),
+                            message.payload.get("code"))
         else:
             self._on_failed(f"unexpected notification {message.method!r}")
 
@@ -94,9 +103,10 @@ class RemoteEventMachine:
         self.cl_event.complete(data)
         self.connection.forget(self.tag)
 
-    def _on_failed(self, error: str) -> None:
+    def _on_failed(self, error: str, code: Optional[int] = None) -> None:
         self.state = FsmState.FAILED
-        self.cl_event.fail(CLError(CL_INVALID_OPERATION, error))
+        self.cl_event.fail(CLError(
+            code if code is not None else CL_INVALID_OPERATION, error))
         self.connection.forget(self.tag)
 
     def _protocol_error(self, got: str, expected: str) -> None:

@@ -42,11 +42,17 @@ class PlatformRouter:
     """Keeps the list of available Device Managers and opens connections."""
 
     def __init__(self, env: Environment, network: Network,
-                 library: BitstreamLibrary):
+                 library: BitstreamLibrary, recovery=None):
         self.env = env
         self.network = network
         self.library = library
+        #: Optional :class:`~repro.faults.RetryPolicy` applied to every
+        #: connection this router opens (``None`` = no recovery machinery).
+        self.recovery = recovery
         self._managers: Dict[str, ManagerAddress] = {}
+        #: Every connection opened through this router (chaos harnesses
+        #: inspect these for in-flight machines and retry counts).
+        self.connections: List[Connection] = []
 
     def add_manager(self, address: ManagerAddress) -> None:
         self._managers[address.name] = address
@@ -90,7 +96,9 @@ class PlatformRouter:
         connection = Connection(
             self.env, client_name, self.network, client_host,
             address.endpoint, address.node, prefer_shm=prefer_shm,
+            recovery=self.recovery,
         )
+        self.connections.append(connection)
         yield from connection.connect()
         platform_info = yield from connection.call(
             protocol.GET_PLATFORM_INFO, {}

@@ -19,6 +19,7 @@ from .config import (
     quick_mode,
     rates_for,
 )
+from .chaos import ChaosResult, ChaosSpec, run_chaos
 from .fig4 import (
     MM_SIZES,
     RW_SIZES,
@@ -42,6 +43,8 @@ from .tables import (
 )
 
 __all__ = [
+    "ChaosResult",
+    "ChaosSpec",
     "FIG4_PAPER",
     "FunctionResult",
     "MM_N",
@@ -63,6 +66,7 @@ __all__ = [
     "render_table2",
     "render_table3",
     "render_table4",
+    "run_chaos",
     "run_mm_sweep",
     "run_rw_sweep",
     "run_scenario",

@@ -71,8 +71,24 @@ def _calibration():
     return run_calibration()
 
 
+def _chaos():
+    import json
+
+    from .chaos import run_chaos
+
+    result = run_chaos()
+    digest = result.to_golden()
+    rows = [[key, json.dumps(value)] for key, value in digest.items()]
+    text = render_table(
+        ["Metric", "Value"], rows,
+        title="Chaos: Table-II load under 1% message loss + DM crash",
+    )
+    return text, [digest]
+
+
 EXPERIMENTS = {
     "calibration": _calibration,
+    "chaos": _chaos,
     "fig4a": _fig(run_rw_sweep,
                   "Fig. 4(a): R/W round-trip time vs total transfer size"),
     "fig4b": _fig(run_sobel_sweep,

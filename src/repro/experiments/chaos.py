@@ -1,0 +1,294 @@
+"""Chaos experiment: the Table-II load under injected failures.
+
+Replays the paper's Section IV-B load test (5 Sobel functions, Table I
+rates) while the fault plane eats 1% of control messages and a scripted
+failure crashes a Device Manager mid-run.  The full recovery stack is
+armed — RPC deadlines and idempotent retries, the heartbeat/lease
+protocol, Algorithm-1 migration of orphaned instances, gateway retry
+budget and circuit breaker — and the run reports what the paper's
+operators would care about: availability, tail latency, and how long the
+system took to detect the failure and re-place the affected functions.
+
+Everything is driven from the DES clock and a seeded fault stream, so a
+whole chaos run is bit-reproducible from its spec.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster import DeviceQuery, build_testbed
+from ..core.registry import AcceleratorsRegistry
+from ..core.remote_lib import ManagerAddress, PlatformRouter
+from ..faults import (
+    FaultScript,
+    GatewayPolicy,
+    HealthPolicy,
+    NetworkFaultPlane,
+    RetryPolicy,
+)
+from ..loadgen import LoadStats, percentile, run_load
+from ..serverless import FunctionController, FunctionSpec, Gateway
+from ..serverless.apps import SobelApp
+from ..sim import AllOf, Environment, Interrupt, run_guarded
+from .config import TABLE1_RATES, LoadTiming, load_timing
+
+
+@dataclass
+class ChaosSpec:
+    """One reproducible chaos scenario."""
+
+    use_case: str = "sobel"
+    configuration: str = "medium"
+    #: Seed of the fault plane's random stream.
+    seed: int = 7
+    #: Fraction of control messages the fabric silently eats.
+    message_loss: float = 0.01
+    duplicate_rate: float = 0.002
+    delay_rate: float = 0.005
+    delay: float = 1e-3
+    #: Device Manager to crash mid-run (and when, as fractions of the
+    #: measurement window).
+    crash_device: str = "dm-B"
+    crash_fraction: float = 0.35
+    restart_fraction: float = 0.25
+    timing: Optional[LoadTiming] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    health: HealthPolicy = field(default_factory=lambda: HealthPolicy(
+        heartbeat_interval=0.25, lease_timeout=1.0))
+    gateway: GatewayPolicy = field(default_factory=GatewayPolicy)
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run."""
+
+    spec: ChaosSpec
+    sent: int = 0
+    completed: int = 0
+    errors: int = 0
+    #: completed / (completed + errors): the fraction of in-window
+    #: requests that resolved successfully.  Requests still in flight when
+    #: the window closes are censored, not failures.
+    availability: float = 0.0
+    mean_latency: float = 0.0
+    p99_latency: float = 0.0
+    crash_at: float = 0.0
+    #: Heartbeat-lease detection latency (detection time - crash time).
+    detection_seconds: float = float("nan")
+    #: Crash until every function is back at full ready capacity.
+    recovery_seconds: float = float("nan")
+    migrations: int = 0
+    heals: int = 0
+    device_failures: int = 0
+    recoveries_detected: int = 0
+    rpc_retries: int = 0
+    gateway_retries: int = 0
+    shed: int = 0
+    breaker_trips: int = 0
+    rejected_messages: int = 0
+    #: Client-side CL event FSMs still unresolved after the drain — the
+    #: "hung client events" count the acceptance demands be zero.
+    hung_events: int = 0
+    plane_counters: Dict[str, int] = field(default_factory=dict)
+    script_log: List[Tuple[float, str]] = field(default_factory=list)
+    stats: List[LoadStats] = field(default_factory=list)
+
+    def to_golden(self) -> Dict[str, object]:
+        """Deterministic digest for golden-file regression testing."""
+        return {
+            "sent": self.sent,
+            "completed": self.completed,
+            "errors": self.errors,
+            "availability": round(self.availability, 6),
+            "mean_latency_ms": round(1e3 * self.mean_latency, 4),
+            "p99_latency_ms": round(1e3 * self.p99_latency, 4),
+            "detection_seconds": (
+                None if math.isnan(self.detection_seconds)
+                else round(self.detection_seconds, 4)
+            ),
+            "recovery_seconds": (
+                None if math.isnan(self.recovery_seconds)
+                else round(self.recovery_seconds, 4)
+            ),
+            "migrations": self.migrations,
+            "heals": self.heals,
+            "device_failures": self.device_failures,
+            "recoveries_detected": self.recoveries_detected,
+            "rpc_retries": self.rpc_retries,
+            "gateway_retries": self.gateway_retries,
+            "shed": self.shed,
+            "breaker_trips": self.breaker_trips,
+            "rejected_messages": self.rejected_messages,
+            "hung_events": self.hung_events,
+            "plane": dict(self.plane_counters),
+            "script": [
+                [round(when, 6), what] for when, what in self.script_log
+            ],
+        }
+
+
+def run_chaos(spec: Optional[ChaosSpec] = None) -> ChaosResult:
+    """Run the Table-II load under failures; returns the chaos report."""
+    spec = spec or ChaosSpec()
+    timing = spec.timing or load_timing()
+    rates = list(TABLE1_RATES[spec.use_case][spec.configuration])
+    env = Environment()
+    testbed = build_testbed(env, functional=False, scrape_interval=1.0,
+                            batching=True)
+    for manager in testbed.managers.values():
+        # Without this a dropped write payload wedges a worker (and the
+        # whole board behind it) forever: the op waits for data that will
+        # never arrive.  The timeout resolves it to a structured failure.
+        manager.data_timeout = spec.retry.deadline
+    gateway = Gateway(env, testbed.cluster, policy=spec.gateway)
+    registry = AcceleratorsRegistry(
+        env, testbed.cluster, list(testbed.managers.values()),
+        scraper=testbed.scraper,
+    )
+    router = PlatformRouter(env, testbed.network, testbed.library,
+                            recovery=spec.retry)
+    router.add_managers(
+        [ManagerAddress.of(m) for m in testbed.managers.values()]
+    )
+    controller = FunctionController(env, testbed.cluster, gateway, router,
+                                    self_heal=True)
+    registry.migrator = controller.migrate
+    health = registry.enable_health(network=testbed.network,
+                                    policy=spec.health)
+
+    names = [
+        f"{spec.use_case}-{index}" for index in range(1, len(rates) + 1)
+    ]
+
+    def deploy_all():
+        for name in names:
+            yield from gateway.deploy(FunctionSpec(
+                name=name,
+                app_factory=SobelApp,
+                device_query=DeviceQuery(vendor="Intel", accelerator="sobel"),
+                runtime="blastfunction",
+            ))
+        for name in names:
+            yield from controller.wait_ready(name)
+
+    env.run(until=env.process(deploy_all()))
+
+    # Deployment ran fault-free (the paper's steady state); the chaos
+    # window opens now.
+    plane = NetworkFaultPlane(
+        seed=spec.seed,
+        drop_rate=spec.message_loss,
+        duplicate_rate=spec.duplicate_rate,
+        delay_rate=spec.delay_rate,
+        delay=spec.delay,
+    )
+    testbed.network.faults = plane
+
+    crash_at = env.now + timing.warmup + spec.crash_fraction * timing.duration
+    restart_after = spec.restart_fraction * timing.duration
+    victim = testbed.managers[spec.crash_device]
+    script = FaultScript(env)
+    script.crash_manager(victim, at=crash_at, restart_after=restart_after)
+    script.arm()
+
+    result = ChaosResult(spec=spec, crash_at=crash_at)
+    hard_end = env.now + timing.warmup + timing.duration
+
+    def recovery_monitor():
+        """Process: crash → victims re-placed and full ready capacity."""
+        try:
+            yield from _watch_recovery()
+        except Interrupt:
+            return
+
+    def _watch_recovery():
+        yield env.timeout(crash_at - env.now)
+        try:
+            victims = set(
+                registry.devices.get(spec.crash_device).instances
+            )
+        except KeyError:
+            return
+        while env.now < hard_end:
+            evacuated = all(
+                name not in controller.instances for name in victims
+            )
+            ready = all(
+                len(controller.live_instances(name))
+                >= gateway.function(name).spec.replicas
+                and all(inst.ready.triggered and inst.ready.ok
+                        for inst in controller.live_instances(name))
+                for name in names
+            )
+            if evacuated and ready:
+                result.recovery_seconds = env.now - crash_at
+                return
+            yield env.timeout(0.1)
+
+    load_processes = [
+        env.process(run_load(
+            env, gateway, name, rate=rate, duration=timing.duration,
+            warmup=timing.warmup, connections=1,
+        ))
+        for name, rate in zip(names, rates)
+    ]
+    monitor = env.process(recovery_monitor())
+
+    def main():
+        results = yield AllOf(env, load_processes)
+        return [results[p] for p in load_processes]
+
+    stats_list = run_guarded(
+        env, until=env.process(main()),
+        deadline=timing.warmup + timing.duration + 120.0,
+        what=f"chaos load ({spec.use_case}/{spec.configuration})",
+    )
+
+    # Let in-flight retries, deadlines and migrations resolve, then stop
+    # the perpetual health processes so nothing is left unaccounted.
+    env.run(until=env.now + spec.retry.op_deadline + 3.0)
+    if monitor.is_alive:
+        monitor.interrupt("chaos run over")
+    health.stop()
+    env.run(until=env.now + 1.0)
+
+    for stats in stats_list:
+        result.stats.append(stats)
+        result.sent += stats.sent
+        result.completed += stats.completed
+        result.errors += stats.errors
+    latencies = [l for s in stats_list for l in s.latencies]
+    resolved = result.completed + result.errors
+    result.availability = (
+        result.completed / resolved if resolved else 0.0
+    )
+    result.mean_latency = (
+        sum(latencies) / len(latencies) if latencies else 0.0
+    )
+    result.p99_latency = percentile(latencies, 99) if latencies else 0.0
+    if health.failures_detected:
+        result.detection_seconds = (
+            health.failures_detected[0][0] - crash_at
+        )
+    result.migrations = registry.migrations
+    result.heals = controller.heals
+    result.device_failures = registry.device_failures
+    result.recoveries_detected = len(health.recoveries_detected)
+    result.rpc_retries = sum(c.retries for c in router.connections)
+    for function in gateway.functions.values():
+        result.gateway_retries += function.retries
+        result.shed += function.shed
+        if function.breaker is not None:
+            result.breaker_trips += function.breaker.trips
+    result.rejected_messages = sum(
+        m.rejected_messages for m in testbed.managers.values()
+    )
+    result.hung_events = sum(
+        len(c._machines) for c in router.connections
+    )
+    result.plane_counters = dict(plane.counters)
+    result.script_log = list(script.executed)
+    return result

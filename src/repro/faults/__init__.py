@@ -1,0 +1,22 @@
+"""Deterministic fault injection and recovery policies.
+
+Everything here is opt-in: a simulation that never installs a fault plane or
+passes a recovery policy executes the exact same event sequence as a build
+without this package (golden outputs stay bit-identical).
+"""
+
+from .plane import PASS, MessageVerdict, NetworkFaultPlane
+from .policies import GatewayPolicy, HealthPolicy, RetryPolicy
+from .rng import FaultRng
+from .script import FaultScript
+
+__all__ = [
+    "FaultRng",
+    "FaultScript",
+    "GatewayPolicy",
+    "HealthPolicy",
+    "MessageVerdict",
+    "NetworkFaultPlane",
+    "PASS",
+    "RetryPolicy",
+]

@@ -1,0 +1,126 @@
+"""The network fault plane: message-level fault decisions.
+
+Installed as ``network.faults`` on the RPC :class:`~repro.rpc.network.Network`
+(``None`` by default — the disabled path is a single attribute check and the
+simulation stays bit-identical to a build without fault injection).  When
+installed, every control-message delivery and every unary reply consults
+:meth:`NetworkFaultPlane.message_action`, which returns a verdict — drop,
+delay, duplicate, or pass — drawn from a seeded stream so a whole chaos run
+replays identically from its seed.
+
+Partitions are deterministic: while two hosts are partitioned every message
+between them drops regardless of the random stream (and without consuming
+a draw, so healing a partition replays the rest of the run unchanged).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from .rng import FaultRng
+
+
+class MessageVerdict:
+    """Outcome of one fault decision for one message."""
+
+    __slots__ = ("drop", "delay", "duplicate")
+
+    def __init__(self, drop: bool = False, delay: float = 0.0,
+                 duplicate: bool = False):
+        self.drop = drop
+        self.delay = delay
+        self.duplicate = duplicate
+
+    def __repr__(self) -> str:
+        return (f"MessageVerdict(drop={self.drop}, delay={self.delay}, "
+                f"duplicate={self.duplicate})")
+
+
+#: Shared no-fault verdict (hot path: avoid one allocation per message).
+PASS = MessageVerdict()
+_DROP = MessageVerdict(drop=True)
+
+
+class NetworkFaultPlane:
+    """Seeded drop/delay/duplicate/partition decisions for control messages.
+
+    One uniform draw per message classifies it against the cumulative rate
+    bands ``[drop | duplicate | delay | pass]``; rates are fractions in
+    ``[0, 1]`` and their sum must not exceed 1.
+    """
+
+    def __init__(
+        self,
+        seed: int = 1,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay: float = 1e-3,
+    ):
+        if min(drop_rate, duplicate_rate, delay_rate) < 0:
+            raise ValueError("fault rates must be non-negative")
+        if drop_rate + duplicate_rate + delay_rate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        self.rng = FaultRng(seed)
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.delay_rate = delay_rate
+        self.delay = delay
+        #: Unordered host pairs currently partitioned from each other.
+        self._partitions: Set[FrozenSet[str]] = set()
+        #: Hosts currently isolated from everyone.
+        self._isolated: Set[str] = set()
+        self.counters: Dict[str, int] = {
+            "delivered": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "delayed": 0,
+            "partitioned": 0,
+        }
+
+    # -- partitions ---------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Sever the link between hosts ``a`` and ``b`` (both directions)."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore the link between hosts ``a`` and ``b``."""
+        self._partitions.discard(frozenset((a, b)))
+
+    def isolate(self, host: str) -> None:
+        """Cut a host off from every other host."""
+        self._isolated.add(host)
+
+    def rejoin(self, host: str) -> None:
+        """Reconnect an isolated host."""
+        self._isolated.discard(host)
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        if src == dst:
+            return False  # loopback never partitions
+        if src in self._isolated or dst in self._isolated:
+            return True
+        return frozenset((src, dst)) in self._partitions
+
+    # -- per-message decision ----------------------------------------------
+    def message_action(self, src: str, dst: str) -> MessageVerdict:
+        """Decide the fate of one control message from ``src`` to ``dst``."""
+        if self.is_partitioned(src, dst):
+            self.counters["partitioned"] += 1
+            self.counters["dropped"] += 1
+            return _DROP
+        if self.drop_rate or self.duplicate_rate or self.delay_rate:
+            draw = self.rng.random()
+            if draw < self.drop_rate:
+                self.counters["dropped"] += 1
+                return _DROP
+            if draw < self.drop_rate + self.duplicate_rate:
+                self.counters["delivered"] += 1
+                self.counters["duplicated"] += 1
+                return MessageVerdict(duplicate=True)
+            if draw < self.drop_rate + self.duplicate_rate + self.delay_rate:
+                self.counters["delivered"] += 1
+                self.counters["delayed"] += 1
+                return MessageVerdict(delay=self.delay)
+        self.counters["delivered"] += 1
+        return PASS

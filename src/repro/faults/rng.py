@@ -1,0 +1,45 @@
+"""Deterministic random stream for fault decisions.
+
+The fault plane must be bit-reproducible: two runs with the same seed make
+exactly the same drop/delay/duplicate decisions in the same order.  The
+stdlib ``random`` module is global mutable state that other code could
+touch, so faults draw from their own linear congruential generator —
+the same approach the load generator uses for arrival jitter.
+"""
+
+from __future__ import annotations
+
+_MULTIPLIER = 6364136223846793005
+_INCREMENT = 1442695040888963407
+_MASK = (1 << 64) - 1
+
+
+class FaultRng:
+    """A seeded 64-bit LCG yielding floats in ``[0, 1)``.
+
+    Cheap (one multiply-add per draw), dependency-free, and isolated: every
+    plane/scenario owns its own stream, so adding one fault source never
+    perturbs the decisions of another.
+    """
+
+    __slots__ = ("_state", "seed")
+
+    def __init__(self, seed: int = 1):
+        self.seed = int(seed)
+        # Scramble the seed so nearby seeds diverge immediately.
+        self._state = (self.seed * _MULTIPLIER + _INCREMENT) & _MASK
+
+    def random(self) -> float:
+        """Next float in ``[0, 1)``."""
+        self._state = (self._state * _MULTIPLIER + _INCREMENT) & _MASK
+        return (self._state >> 33) / float(1 << 31)
+
+    def randint(self, bound: int) -> int:
+        """Next int in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError("bound must be > 0")
+        return int(self.random() * bound) % bound
+
+    def fork(self, stream: int) -> "FaultRng":
+        """Derive an independent child stream (e.g. one per link or host)."""
+        return FaultRng((self.seed * 1000003 + stream * 7919 + 17) & _MASK)

@@ -46,6 +46,14 @@ class KernelFault(RuntimeError):
     """A kernel run failed on the device (injected or hardware fault)."""
 
 
+class BoardUnavailableError(BoardError):
+    """The board is locked up (hardware wedge) until recovered."""
+
+
+class ReconfigurationError(BoardError):
+    """A (partial) reconfiguration failed, leaving the target unprogrammed."""
+
+
 class FPGABoard:
     """A single FPGA accelerator board."""
 
@@ -78,7 +86,19 @@ class FPGABoard:
         #: kernel run as ``fault_injector(kernel_name, run_index)``; a
         #: truthy return makes the run fail with :class:`KernelFault` after
         #: consuming its device time (a hang/abort detected at completion).
+        #: The special return ``"hang"`` models a wedged kernel: the abort
+        #: only surfaces after :attr:`hang_detect_seconds` more.
         self.fault_injector: Optional[Callable[[str, int], bool]] = None
+        #: Injected reconfiguration failures: called as
+        #: ``reconfiguration_injector(bitstream_name)``; truthy → the
+        #: reconfiguration consumes its full time, then fails and leaves
+        #: the target region unprogrammed.
+        self.reconfiguration_injector: Optional[Callable[[str], bool]] = None
+        #: Watchdog latency for a hung kernel, seconds.
+        self.hang_detect_seconds = 1.0
+        #: False while the board is locked up (see :meth:`lock_up`).
+        self.alive = True
+        self.lockups = 0
 
     @property
     def slot_count(self) -> int:
@@ -108,6 +128,22 @@ class FPGABoard:
     def programmed(self) -> bool:
         return any(slot is not None for slot in self.slots)
 
+    # -- health --------------------------------------------------------------
+    def lock_up(self) -> None:
+        """Wedge the board: every operation fails until :meth:`recover`."""
+        self.alive = False
+        self.lockups += 1
+
+    def recover(self) -> None:
+        """Power-cycle a locked-up board: memory and slots are wiped."""
+        self.memory.release_all()
+        self.slots = [None] * self.slot_count
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise BoardUnavailableError(f"board {self.name} is locked up")
+
     def kernel_slot(self, name: str) -> tuple[int, AcceleratorKernel]:
         """Find which slot hosts a kernel; returns (slot index, kernel)."""
         if not self.programmed:
@@ -133,6 +169,7 @@ class FPGABoard:
         freed), as a real full-device reprogram does.  The image lands in
         slot 0.
         """
+        self._check_alive()
         grants = [lock.request() for lock in self._slot_locks]
         try:
             for grant in grants:
@@ -141,6 +178,13 @@ class FPGABoard:
             yield self.env.timeout(self.spec.reconfiguration_time)
             self.memory.release_all()
             self.slots = [None] * self.slot_count
+            if (self.reconfiguration_injector is not None
+                    and self.reconfiguration_injector(bitstream.name)):
+                self._account(self.env.now - start, "reconfigure")
+                raise ReconfigurationError(
+                    f"reconfiguration of board {self.name} with "
+                    f"{bitstream.name!r} failed"
+                )
             self.slots[0] = bitstream
             self.reconfigurations += 1
             self._account(self.env.now - start, "reconfigure")
@@ -158,10 +202,19 @@ class FPGABoard:
             raise BoardError(
                 f"slot {slot} out of range (board has {self.slot_count})"
             )
+        self._check_alive()
         with self._slot_locks[slot].request() as grant:
             yield grant
             start = self.env.now
             yield self.env.timeout(self.spec.partial_reconfiguration_time)
+            if (self.reconfiguration_injector is not None
+                    and self.reconfiguration_injector(bitstream.name)):
+                self.slots[slot] = None
+                self._account(self.env.now - start, "reconfigure")
+                raise ReconfigurationError(
+                    f"partial reconfiguration of slot {slot} of board "
+                    f"{self.name} with {bitstream.name!r} failed"
+                )
             self.slots[slot] = bitstream
             self.partial_reconfigurations += 1
             self._account(self.env.now - start, "reconfigure")
@@ -169,6 +222,7 @@ class FPGABoard:
     # -- memory ---------------------------------------------------------------
     def allocate(self, size: int) -> DeviceBuffer:
         """Allocate device memory (instantaneous control operation)."""
+        self._check_alive()
         return self.memory.allocate(size)
 
     def free(self, buffer: DeviceBuffer | int) -> None:
@@ -192,6 +246,7 @@ class FPGABoard:
             raise ValueError(
                 f"write of {nbytes}@{offset} outside buffer size {buffer.size}"
             )
+        self._check_alive()
         start = self.env.now
         yield from self.link.transfer(nbytes)
         if self.functional and data is not None:
@@ -215,6 +270,7 @@ class FPGABoard:
                 f"copy of {nbytes} bytes outside buffer bounds "
                 f"(src {src.size}, dst {dst.size})"
             )
+        self._check_alive()
         start = self.env.now
         yield self.env.timeout(nbytes / self.DDR_COPY_BANDWIDTH)
         if self.functional:
@@ -244,6 +300,7 @@ class FPGABoard:
             raise ValueError(
                 f"read of {nbytes}@{offset} outside buffer size {buffer.size}"
             )
+        self._check_alive()
         start = self.env.now
         yield from self.link.transfer(nbytes)
         self._account(self.env.now - start, "dma")
@@ -260,6 +317,7 @@ class FPGABoard:
         (in functional mode) performs the actual computation.  Returns the
         kernel's execution time in seconds.
         """
+        self._check_alive()
         slot, kernel = self.kernel_slot(kernel_name)
         args = kernel.resolve_args(arg_values)
         duration = kernel.duration(args)
@@ -282,6 +340,15 @@ class FPGABoard:
             )
             if not faulted and self.functional:
                 kernel.compute(args)
+            if faulted == "hang":
+                # A wedged kernel never signals completion; the abort only
+                # surfaces once the manager's watchdog fires.
+                yield self.env.timeout(self.hang_detect_seconds)
+                self._account(self.env.now - start, "kernel")
+                raise KernelFault(
+                    f"kernel {kernel_name!r} run #{run_index} hung on "
+                    f"board {self.name}"
+                )
             self._account(self.env.now - start, "kernel")
             if faulted:
                 raise KernelFault(

@@ -5,6 +5,8 @@ from .messages import (
     Message,
     RpcEndpoint,
     RpcError,
+    RpcTimeout,
+    new_request_id,
     reply,
     reply_error,
     send_to_client,
@@ -33,9 +35,11 @@ __all__ = [
     "NetworkHost",
     "RpcEndpoint",
     "RpcError",
+    "RpcTimeout",
     "ShmTransport",
     "Transport",
     "make_transport",
+    "new_request_id",
     "reply",
     "reply_error",
     "send_to_client",

@@ -22,7 +22,25 @@ _message_ids = count(1)
 
 
 class RpcError(RuntimeError):
-    """A failed remote call (the server answered with an error)."""
+    """A failed remote call (the server answered with an error).
+
+    ``code`` optionally carries a structured (OpenCL) error code so client
+    layers can surface the server's failure as the matching ``CLError``
+    rather than a generic one.
+    """
+
+    def __init__(self, message: str, code: Optional[int] = None):
+        super().__init__(message)
+        self.code = code
+
+
+def new_request_id() -> int:
+    """Fresh request id for an idempotent unary call.
+
+    Retries of the same logical request reuse one id, letting the server
+    dedupe re-executions and replay the cached reply.
+    """
+    return next(_message_ids)
 
 
 @dataclass(slots=True)
@@ -68,15 +86,13 @@ class RpcEndpoint:
 def send_to_server(transport: Transport, endpoint: RpcEndpoint,
                    message: Message):
     """Process: deliver a client→server control message."""
-    yield from transport.control_to_server()
-    endpoint.deliver(message)
+    yield from transport.deliver_to_server(endpoint, message)
 
 
 def send_to_client(transport: Transport, endpoint: RpcEndpoint,
                    message: Message):
     """Process: deliver a server→client control message."""
-    yield from transport.control_to_client()
-    endpoint.deliver(message)
+    yield from transport.deliver_to_client(endpoint, message)
 
 
 class RpcTimeout(RpcError):
@@ -90,6 +106,7 @@ def unary_call(
     payload: Optional[Dict[str, Any]] = None,
     sender: str = "",
     timeout: Optional[float] = None,
+    request_id: Optional[int] = None,
 ):
     """Process: synchronous request/response against a server endpoint.
 
@@ -97,6 +114,10 @@ def unary_call(
     :class:`RpcError` if the server replies with an error and
     :class:`RpcTimeout` if no reply arrives within ``timeout`` seconds
     (gRPC deadline semantics; ``None`` waits forever).
+
+    ``request_id`` pins the message id so a retry is recognizably the
+    same logical request (the Device Manager dedupes on it and replays
+    its cached reply instead of re-executing).
     """
     env = transport.env
     response = env.event()
@@ -104,8 +125,9 @@ def unary_call(
         method=method, payload=dict(payload or {}), sender=sender,
         reply_to=response,
     )
-    yield from transport.control_to_server()
-    endpoint.deliver(message)
+    if request_id is not None:
+        message.id = request_id
+    yield from transport.deliver_to_server(endpoint, message)
     if timeout is None:
         result = yield response
         return result
@@ -118,6 +140,27 @@ def unary_call(
         # abandoned caller.
         response.defused = True
         raise RpcTimeout(f"{method} deadline of {timeout}s exceeded")
+    faults = transport.network.faults
+    if faults is not None:
+        # Reply loss is decided client-side: the server's handler DID run
+        # (and cached its reply for retries), but the answer crossing the
+        # same lossy fabric may drop or straggle, surfacing to the caller
+        # as a deadline expiry.  Only modeled under a deadline — without
+        # one a lost reply would hang the caller forever.
+        verdict = faults.message_action(transport.server.name,
+                                        transport.client.name)
+        if verdict.drop:
+            response.defused = True
+            if not deadline.processed:
+                yield deadline
+            raise RpcTimeout(f"{method} reply lost; deadline of "
+                             f"{timeout}s exceeded")
+        if verdict.delay:
+            extra = env.timeout(verdict.delay)
+            yield AnyOf(env, [extra, deadline])
+            if not extra.processed:
+                response.defused = True
+                raise RpcTimeout(f"{method} deadline of {timeout}s exceeded")
     if not response.ok:
         raise response.value
     return response.value
@@ -138,5 +181,6 @@ def reply_error(transport: Transport, message: Message,
         raise ValueError(f"message {message.method!r} expects no reply")
     yield from transport.control_to_client()
     if not isinstance(error, RpcError):
-        error = RpcError(str(error))
+        # Preserve a structured OpenCL code when the server error has one.
+        error = RpcError(str(error), code=getattr(error, "cl_code", None))
     message.reply_to.fail(error)

@@ -79,6 +79,46 @@ class Transport(abc.ABC):
     def control_to_client(self):
         yield from self.send_control(self.server, self.client)
 
+    # -- control plane with delivery (fault-injection point) ----------------
+    def deliver_to_server(self, endpoint, message):
+        """Process: send one control message and deliver it client→server.
+
+        This is where the network fault plane bites: with
+        ``network.faults`` installed the message may be dropped, delayed
+        or duplicated.  Disabled, the path is identical (same generator
+        depth, same event sequence) to ``control_to_server`` + deliver.
+        """
+        faults = self.network.faults
+        if faults is not None:
+            yield from self._deliver_faulty(
+                faults, self.client, self.server, endpoint, message)
+            return
+        yield from self.send_control(self.client, self.server)
+        endpoint.deliver(message)
+
+    def deliver_to_client(self, endpoint, message):
+        """Process: send one control message and deliver it server→client."""
+        faults = self.network.faults
+        if faults is not None:
+            yield from self._deliver_faulty(
+                faults, self.server, self.client, endpoint, message)
+            return
+        yield from self.send_control(self.server, self.client)
+        endpoint.deliver(message)
+
+    def _deliver_faulty(self, faults, src, dst, endpoint, message):
+        # The sender always pays the send cost — it cannot know the fabric
+        # ate the message.
+        verdict = faults.message_action(src.name, dst.name)
+        yield from self.send_control(src, dst)
+        if verdict.drop:
+            return
+        if verdict.delay:
+            yield self.env.timeout(verdict.delay)
+        endpoint.deliver(message)
+        if verdict.duplicate:
+            endpoint.deliver(message)
+
     # -- data plane -----------------------------------------------------------
     @abc.abstractmethod
     def send_data(self, src: NetworkHost, dst: NetworkHost, nbytes: int):

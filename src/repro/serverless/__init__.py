@@ -6,6 +6,7 @@ from .autoscaler import FunctionAutoscaler, FunctionAutoscalerPolicy
 from .controller import FunctionController
 from .gateway import (
     GATEWAY_OVERHEAD,
+    CircuitBreaker,
     DeployedFunction,
     FunctionSpec,
     Gateway,
@@ -16,6 +17,7 @@ from .instance import FunctionInstance, InstanceStartupError
 
 __all__ = [
     "AlexNetApp",
+    "CircuitBreaker",
     "DeployedFunction",
     "FunctionApp",
     "FunctionAutoscaler",

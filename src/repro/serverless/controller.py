@@ -29,12 +29,19 @@ class FunctionController:
         cluster: Cluster,
         gateway: Gateway,
         router: Optional[PlatformRouter] = None,
+        self_heal: bool = False,
     ):
         self.env = env
         self.cluster = cluster
         self.gateway = gateway
         self.router = router
         self.instances: Dict[str, FunctionInstance] = {}
+        #: When set, deleted pods that drop a function below its replica
+        #: count are respawned (deployment-controller reconciliation).
+        self.self_heal = self_heal
+        self.heals = 0
+        self.heal_failures = 0
+        self._healing: Dict[str, int] = {}
         cluster.watch(self._on_watch)
         gateway.on_deploy = lambda function: None  # deploy is pod-driven
 
@@ -54,6 +61,51 @@ class FunctionController:
             self.instances.pop(pod.name, None)
             if pod.name in function.pod_names:
                 function.pod_names.remove(pod.name)
+            if self.self_heal:
+                self.env.process(self._heal(function))
+
+    def _heal(self, function: DeployedFunction):
+        """Process: respawn pods until the function is back at replicas.
+
+        Migrations never trigger a respawn — create-before-delete means
+        the replacement pod is already counted when the old one goes.
+        """
+        # Let same-tick deletions settle before counting.
+        yield self.env.timeout(0)
+        name = function.spec.name
+        missing = (function.spec.replicas - len(function.pod_names)
+                   - self._healing.get(name, 0))
+        if missing <= 0:
+            return
+        self._healing[name] = self._healing.get(name, 0) + missing
+        try:
+            for _ in range(missing):
+                replacement = function.next_instance_name()
+                spec = PodSpec(
+                    name=replacement,
+                    function=name,
+                    device_query=function.spec.device_query,
+                    labels={"runtime": function.spec.runtime,
+                            "healed": "true"},
+                )
+                try:
+                    pod = yield from self.cluster.create_pod(spec)
+                except Exception:  # noqa: BLE001 - no capacity left
+                    self.heal_failures += 1
+                    return
+                function.pod_names.append(pod.name)
+                self.heals += 1
+        finally:
+            self._healing[name] -= missing
+
+    def live_instances(self, function_name: str) -> List[FunctionInstance]:
+        """Instances of a function currently attached to running pods."""
+        function = self.gateway.function(function_name)
+        return [
+            self.instances[name]
+            for name in function.pod_names
+            if name in self.instances
+        ]
 
     # -- readiness -------------------------------------------------------------
     def wait_ready(self, function_name: str):

@@ -19,7 +19,8 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..cluster.apiserver import Cluster
 from ..cluster.objects import DeviceQuery, PodSpec
-from ..sim import Environment, Event, Store
+from ..faults import GatewayPolicy
+from ..sim import AnyOf, Environment, Event, Store
 
 #: Gateway forwarding overhead per request (routing, HTTP hop), seconds.
 GATEWAY_OVERHEAD = 0.6e-3
@@ -57,6 +58,43 @@ class FunctionSpec:
     node_name: str = ""
 
 
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one function endpoint.
+
+    Opens after ``threshold`` consecutive failures; while open, requests
+    are rejected immediately (no queueing, no backend pressure).  After
+    ``cooldown`` seconds the breaker half-opens: the next request is
+    admitted and its outcome closes or re-opens the circuit.
+    """
+
+    def __init__(self, threshold: int, cooldown: float):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+
+    def is_open(self, now: float) -> bool:
+        if self.opened_at is None:
+            return False
+        if now - self.opened_at >= self.cooldown:
+            self.opened_at = None  # half-open: admit traffic again
+            self.consecutive_failures = 0
+            return False
+        return True
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if (self.consecutive_failures >= self.threshold
+                and self.opened_at is None):
+            self.opened_at = now
+            self.trips += 1
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+
 class DeployedFunction:
     """Gateway-side state of one function: endpoint + instance bookkeeping."""
 
@@ -68,6 +106,10 @@ class DeployedFunction:
         self.pod_names: List[str] = []
         self.invocations = 0
         self.failures = 0
+        self.retries = 0
+        self.shed = 0
+        #: Installed by the gateway when a resilience policy is armed.
+        self.breaker: Optional[CircuitBreaker] = None
 
     def next_instance_name(self) -> str:
         return f"{self.spec.name}-i{next(self.instance_counter)}"
@@ -76,9 +118,13 @@ class DeployedFunction:
 class Gateway:
     """The serverless system's single entry point."""
 
-    def __init__(self, env: Environment, cluster: Cluster):
+    def __init__(self, env: Environment, cluster: Cluster,
+                 policy: Optional[GatewayPolicy] = None):
         self.env = env
         self.cluster = cluster
+        #: Resilience policy (retry budget, circuit breaker, shedding).
+        #: ``None`` keeps the seed fast path bit-identical.
+        self.policy = policy
         self.functions: Dict[str, DeployedFunction] = {}
         #: The controller hooks this to start instances on pod creation.
         self.on_deploy: Optional[Callable[[DeployedFunction], None]] = None
@@ -116,6 +162,8 @@ class Gateway:
                payload: Optional[Dict[str, Any]] = None):
         """Process: invoke a function; returns (latency_seconds, result)."""
         function = self.function(function_name)
+        if self.policy is not None:
+            return (yield from self._invoke_resilient(function, payload))
         yield self.env.timeout(GATEWAY_OVERHEAD)
         request = Request(dict(payload or {}), self.env.now,
                           Event(self.env))
@@ -127,3 +175,69 @@ class Gateway:
             function.failures += 1
             raise
         return self.env.now - request.created, result
+
+    def _invoke_resilient(self, function: DeployedFunction,
+                          payload: Optional[Dict[str, Any]]):
+        """Process: invoke under the gateway resilience policy.
+
+        Per-request retry budget with exponential backoff, a per-function
+        circuit breaker, and graceful degradation: with no live instance
+        the request is either shed immediately (``shed_when_unavailable``)
+        or queued — the endpoint queue outlives instances, so requests
+        ride out migrations and respawns.
+        """
+        policy = self.policy
+        if function.breaker is None:
+            function.breaker = CircuitBreaker(policy.breaker_threshold,
+                                              policy.breaker_cooldown)
+        breaker = function.breaker
+        yield self.env.timeout(GATEWAY_OVERHEAD)
+        if breaker.is_open(self.env.now):
+            function.shed += 1
+            raise InvocationError(
+                f"{function.spec.name}: circuit breaker open")
+        if policy.shed_when_unavailable and not function.pod_names:
+            function.shed += 1
+            raise InvocationError(
+                f"{function.spec.name}: no live instance")
+        created = self.env.now
+        last_error: Optional[InvocationError] = None
+        for attempt in range(policy.retry_budget + 1):
+            if attempt:
+                function.retries += 1
+                yield self.env.timeout(
+                    policy.retry_backoff
+                    * policy.backoff_factor ** (attempt - 1)
+                )
+            request = Request(dict(payload or {}), self.env.now,
+                              Event(self.env))
+            function.request_queue.put(request)
+            function.invocations += 1
+            try:
+                result = yield from self._await_response(request)
+            except InvocationError as exc:
+                function.failures += 1
+                breaker.record_failure(self.env.now)
+                last_error = exc
+                continue
+            breaker.record_success()
+            return self.env.now - created, result
+        raise last_error
+
+    def _await_response(self, request: Request):
+        """Process: wait for one attempt's response, with optional timeout."""
+        timeout = self.policy.request_timeout
+        if timeout is None:
+            return (yield request.response)
+        deadline = self.env.timeout(timeout)
+        yield AnyOf(self.env, [request.response, deadline])
+        if not request.response.triggered:
+            # Abandon the attempt; if an instance later picks the request
+            # up, its response resolves unobserved (defused).
+            request.response.defused = True
+            raise InvocationError(
+                f"request {request.id} timed out after {timeout}s")
+        if not request.response.ok:
+            request.response.defused = True
+            raise request.response.value
+        return request.response.value

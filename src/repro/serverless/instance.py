@@ -44,6 +44,7 @@ class FunctionInstance:
         self.app = function.spec.app_factory()
         self.platform: Optional[Platform] = None
         self.requests_served = 0
+        self._current = None  # request being handled right now
         self.ready = env.event()
         self.process = env.process(self._run())
         pod.process = self.process
@@ -88,6 +89,7 @@ class FunctionInstance:
                 self.ready.succeed()
             while True:
                 request = yield self.function.request_queue.get()
+                self._current = request
                 try:
                     host_overhead = (
                         self.app.host_overhead
@@ -105,15 +107,26 @@ class FunctionInstance:
                     self.requests_served += 1
                     if not request.response.triggered:
                         request.response.succeed(result)
+                self._current = None
         except Interrupt:
+            self._fail_inflight()
             self._teardown()
             return
         except Exception as exc:  # noqa: BLE001 - startup failures
             if not self.ready.triggered:
                 self.ready.fail(exc)
                 self.ready.defused = True
+            self._fail_inflight()
             self._teardown()
             raise
+
+    def _fail_inflight(self) -> None:
+        """Never strand a caller: fail the request we died holding."""
+        request, self._current = self._current, None
+        if request is not None and not request.response.triggered:
+            request.response.fail(InvocationError(
+                f"instance {self.pod.name} terminated mid-request"))
+            request.response.defused = True
 
     def _teardown(self) -> None:
         if self.platform is not None:

@@ -22,6 +22,7 @@ from .events import (
     SimError,
     Timeout,
 )
+from .watchdog import WatchdogError, pending_summary, run_guarded
 from .resources import (
     Container,
     FilterStore,
@@ -54,4 +55,7 @@ __all__ = [
     "SimError",
     "Store",
     "Timeout",
+    "WatchdogError",
+    "pending_summary",
+    "run_guarded",
 ]

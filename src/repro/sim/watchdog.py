@@ -1,0 +1,80 @@
+"""Deadlock watchdog for simulation runs.
+
+Fault-injection tests create exactly the situations where a buggy recovery
+path deadlocks: a client waits on a reply that was dropped, the schedule
+drains, and a plain ``env.run(until=event)`` returns with the event still
+untriggered — or ``env.run()`` simply never reaches the state the test
+asserts on.  :func:`run_guarded` makes these failures loud and diagnosable
+instead of silent or hanging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .core import Environment
+from .events import Event
+
+
+class WatchdogError(AssertionError):
+    """The simulation deadlocked or overran its virtual-time budget."""
+
+
+def pending_summary(env: Environment, limit: int = 10) -> str:
+    """Describe the events still sitting in the schedule (for diagnostics)."""
+    entries = sorted(env._queue)[:limit]
+    if not entries:
+        return "schedule empty"
+    lines = [
+        f"  t={when:.6f} {type(event).__name__}"
+        for when, _prio, _eid, event in entries
+    ]
+    more = len(env._queue) - len(entries)
+    if more > 0:
+        lines.append(f"  ... and {more} more")
+    return "\n".join(lines)
+
+
+def run_guarded(
+    env: Environment,
+    until: Optional[Event] = None,
+    deadline: float = 120.0,
+    what: str = "simulation",
+) -> Any:
+    """Run ``env`` until ``until`` triggers, failing fast on deadlock.
+
+    Unlike ``env.run(until=event)``, which returns quietly when the
+    schedule drains with the event untriggered, this raises
+    :class:`WatchdogError` naming the stuck wait.  ``deadline`` bounds
+    *virtual* time: a run that is still going after ``deadline`` simulated
+    seconds (e.g. an unbounded retry loop) also fails, with a dump of the
+    next scheduled events.  With ``until=None`` it simply enforces the
+    deadline on a run-to-exhaustion.
+    """
+    horizon = env.now + deadline
+    if until is None:
+        env.run(until=horizon)
+        if env.peek() != float("inf"):
+            raise WatchdogError(
+                f"{what}: still running at t={env.now:.3f} "
+                f"(deadline {deadline}s); next events:\n"
+                f"{pending_summary(env)}"
+            )
+        return None
+    if until.callbacks is None:  # already processed
+        return until.value
+    env.run(until=horizon)
+    if until.triggered:
+        if not until.ok:
+            until.defused = True
+            raise until.value
+        return until.value
+    if env.peek() == float("inf"):
+        raise WatchdogError(
+            f"{what}: deadlocked at t={env.now:.3f} — schedule empty but "
+            f"the awaited event never triggered"
+        )
+    raise WatchdogError(
+        f"{what}: awaited event still pending at t={env.now:.3f} "
+        f"(deadline {deadline}s); next events:\n{pending_summary(env)}"
+    )

@@ -1,0 +1,181 @@
+"""Determinism and semantics of the fault-injection plane."""
+
+import pytest
+
+from repro.faults import (
+    PASS,
+    FaultRng,
+    FaultScript,
+    NetworkFaultPlane,
+)
+from repro.sim import Environment
+
+
+class TestFaultRng:
+    def test_same_seed_same_stream(self):
+        a, b = FaultRng(42), FaultRng(42)
+        assert [a.random() for _ in range(100)] == [
+            b.random() for _ in range(100)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a, b = FaultRng(1), FaultRng(2)
+        assert [a.random() for _ in range(10)] != [
+            b.random() for _ in range(10)
+        ]
+
+    def test_unit_interval(self):
+        rng = FaultRng(7)
+        draws = [rng.random() for _ in range(1000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_fork_is_independent_and_deterministic(self):
+        parent = FaultRng(5)
+        child = parent.fork(3)
+        again = FaultRng(5).fork(3)
+        assert [child.random() for _ in range(10)] == [
+            again.random() for _ in range(10)
+        ]
+
+
+class TestNetworkFaultPlane:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            NetworkFaultPlane(drop_rate=-0.1)
+        with pytest.raises(ValueError):
+            NetworkFaultPlane(drop_rate=0.6, duplicate_rate=0.6)
+
+    def test_zero_rates_always_pass(self):
+        plane = NetworkFaultPlane(seed=1)
+        for _ in range(50):
+            assert plane.message_action("a", "b") is PASS
+        assert plane.counters["delivered"] == 50
+        assert plane.counters["dropped"] == 0
+
+    def test_seeded_verdicts_replay(self):
+        def verdicts(plane):
+            return [
+                (v.drop, v.delay, v.duplicate)
+                for v in (plane.message_action("a", "b")
+                          for _ in range(500))
+            ]
+
+        kwargs = dict(seed=9, drop_rate=0.1, duplicate_rate=0.1,
+                      delay_rate=0.1)
+        assert verdicts(NetworkFaultPlane(**kwargs)) == verdicts(
+            NetworkFaultPlane(**kwargs)
+        )
+
+    def test_all_bands_reachable(self):
+        plane = NetworkFaultPlane(seed=3, drop_rate=0.2, duplicate_rate=0.2,
+                                  delay_rate=0.2, delay=0.5)
+        for _ in range(500):
+            plane.message_action("a", "b")
+        counters = plane.counters
+        assert counters["dropped"] > 0
+        assert counters["duplicated"] > 0
+        assert counters["delayed"] > 0
+        assert (counters["delivered"] + counters["dropped"]) == 500
+
+    def test_partition_drops_both_directions(self):
+        plane = NetworkFaultPlane(seed=1)
+        plane.partition("a", "b")
+        assert plane.message_action("a", "b").drop
+        assert plane.message_action("b", "a").drop
+        assert plane.counters["partitioned"] == 2
+        plane.heal("a", "b")
+        assert plane.message_action("a", "b") is PASS
+
+    def test_partition_consumes_no_draws(self):
+        # Healing a partition must replay the rest of the run unchanged:
+        # the partitioned messages take no random draws.
+        kwargs = dict(seed=11, drop_rate=0.3, duplicate_rate=0.3)
+        partitioned = NetworkFaultPlane(**kwargs)
+        partitioned.partition("a", "b")
+        for _ in range(25):
+            partitioned.message_action("a", "b")
+        partitioned.heal("a", "b")
+        fresh = NetworkFaultPlane(**kwargs)
+        after = [
+            (v.drop, v.duplicate)
+            for v in (partitioned.message_action("a", "b")
+                      for _ in range(100))
+        ]
+        baseline = [
+            (v.drop, v.duplicate)
+            for v in (fresh.message_action("a", "b") for _ in range(100))
+        ]
+        assert after == baseline
+
+    def test_isolation_cuts_host_off(self):
+        plane = NetworkFaultPlane(seed=1)
+        plane.isolate("b")
+        assert plane.message_action("a", "b").drop
+        assert plane.message_action("b", "c").drop
+        assert plane.message_action("a", "c") is PASS
+        plane.rejoin("b")
+        assert plane.message_action("a", "b") is PASS
+
+    def test_loopback_never_partitions(self):
+        plane = NetworkFaultPlane(seed=1)
+        plane.isolate("a")
+        assert plane.message_action("a", "a") is PASS
+
+
+class _Crashable:
+    def __init__(self, name):
+        self.name = name
+        self.log = []
+
+    def crash(self):
+        self.log.append("crash")
+
+    def restart(self):
+        self.log.append("restart")
+
+
+class TestFaultScript:
+    def test_actions_run_in_time_order(self):
+        env = Environment()
+        script = FaultScript(env)
+        order = []
+        script.at(2.0, "second", lambda: order.append(("second", env.now)))
+        script.at(1.0, "first", lambda: order.append(("first", env.now)))
+        script.arm()
+        env.run()
+        assert order == [("first", 1.0), ("second", 2.0)]
+        assert [(when, what) for when, what in script.executed] == [
+            (1.0, "first"), (2.0, "second")
+        ]
+
+    def test_crash_manager_schedules_restart(self):
+        env = Environment()
+        manager = _Crashable("dm-X")
+        script = FaultScript(env)
+        script.crash_manager(manager, at=1.0, restart_after=0.5)
+        script.arm()
+        env.run()
+        assert manager.log == ["crash", "restart"]
+        assert script.executed[0][1] == "crash dm-X"
+        assert script.executed[1] == (1.5, "restart dm-X")
+
+    def test_partition_action_drives_plane(self):
+        env = Environment()
+        plane = NetworkFaultPlane(seed=1)
+        script = FaultScript(env)
+        script.partition(plane, "a", "b", at=1.0, heal_after=1.0)
+        script.arm()
+        env.run(until=1.5)
+        assert plane.is_partitioned("a", "b")
+        env.run()
+        assert not plane.is_partitioned("a", "b")
+
+    def test_cannot_extend_or_rearm_after_arming(self):
+        env = Environment()
+        script = FaultScript(env)
+        script.at(1.0, "noop", lambda: None)
+        script.arm()
+        with pytest.raises(RuntimeError):
+            script.at(2.0, "late", lambda: None)
+        with pytest.raises(RuntimeError):
+            script.arm()

@@ -1,0 +1,183 @@
+"""RPC layer under the fault plane: drop, delay, duplicate, partition."""
+
+import pytest
+
+from repro.faults import NetworkFaultPlane
+from repro.rpc import (
+    GrpcTransport,
+    Message,
+    Network,
+    RpcEndpoint,
+    RpcTimeout,
+    new_request_id,
+    reply,
+    unary_call,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    network = Network(env)
+    client_host = network.host("client-host")
+    server_host = network.host("server-host")
+    transport = GrpcTransport(env, network, client_host, server_host)
+    endpoint = RpcEndpoint(env, "server")
+    return env, network, transport, endpoint
+
+
+def test_disabled_plane_is_inert(setup):
+    env, network, transport, endpoint = setup
+    assert network.faults is None
+
+    def server():
+        message = yield endpoint.inbox.get()
+        yield from reply(transport, message, {"ok": True})
+
+    def client():
+        return (yield from unary_call(transport, endpoint, "Ping"))
+
+    env.process(server())
+    assert env.run(until=env.process(client())) == {"ok": True}
+
+
+def test_dropped_request_times_out(setup):
+    env, network, transport, endpoint = setup
+    network.faults = NetworkFaultPlane(seed=1, drop_rate=1.0)
+
+    def client():
+        try:
+            yield from unary_call(transport, endpoint, "Ping", timeout=0.5)
+        except RpcTimeout:
+            return env.now
+        return None
+
+    assert env.run(until=env.process(client())) == pytest.approx(0.5,
+                                                                 abs=0.01)
+    assert len(endpoint.inbox.items) == 0
+    assert network.faults.counters["dropped"] == 1
+
+
+def test_duplicate_delivers_message_twice(setup):
+    env, network, transport, endpoint = setup
+    network.faults = NetworkFaultPlane(seed=1, duplicate_rate=1.0)
+
+    def sender():
+        yield from transport.deliver_to_server(
+            endpoint, Message(method="Notify", sender="c")
+        )
+
+    env.run(until=env.process(sender()))
+    assert len(endpoint.inbox.items) == 2
+    assert network.faults.counters["duplicated"] == 1
+
+
+def test_delay_postpones_delivery(setup):
+    env, network, transport, endpoint = setup
+    arrivals = []
+
+    def server():
+        while True:
+            yield endpoint.inbox.get()
+            arrivals.append(env.now)
+
+    def sender():
+        yield from transport.deliver_to_server(
+            endpoint, Message(method="Notify", sender="c")
+        )
+
+    env.process(server())
+    env.run(until=env.process(sender()))
+    env.run()
+    baseline = arrivals[0]
+
+    env2 = Environment()
+    network2 = Network(env2)
+    transport2 = GrpcTransport(env2, network2, network2.host("client-host"),
+                               network2.host("server-host"))
+    endpoint2 = RpcEndpoint(env2, "server")
+    network2.faults = NetworkFaultPlane(seed=1, delay_rate=1.0, delay=0.25)
+    arrivals2 = []
+
+    def server2():
+        while True:
+            yield endpoint2.inbox.get()
+            arrivals2.append(env2.now)
+
+    def sender2():
+        yield from transport2.deliver_to_server(
+            endpoint2, Message(method="Notify", sender="c")
+        )
+
+    env2.process(server2())
+    env2.run(until=env2.process(sender2()))
+    env2.run()
+    assert arrivals2[0] == pytest.approx(baseline + 0.25)
+
+
+def test_partition_blocks_until_healed(setup):
+    env, network, transport, endpoint = setup
+    plane = NetworkFaultPlane(seed=1)
+    network.faults = plane
+    plane.partition("client-host", "server-host")
+
+    def server():
+        while True:
+            message = yield endpoint.inbox.get()
+            yield from reply(transport, message, {"ok": True})
+
+    def client(timeout):
+        try:
+            result = yield from unary_call(transport, endpoint, "Ping",
+                                           timeout=timeout)
+        except RpcTimeout:
+            return "timeout"
+        return result
+
+    env.process(server())
+    assert env.run(until=env.process(client(0.3))) == "timeout"
+    plane.heal("client-host", "server-host")
+    assert env.run(until=env.process(client(0.3))) == {"ok": True}
+
+
+def test_lost_reply_surfaces_as_deadline_expiry(setup):
+    env, network, transport, endpoint = setup
+    served = []
+
+    def server():
+        message = yield endpoint.inbox.get()
+        served.append(message.method)
+        # Arm total loss only now, so exactly the reply leg is hit.
+        network.faults = NetworkFaultPlane(seed=1, drop_rate=1.0)
+        yield from reply(transport, message, {"ok": True})
+
+    def client():
+        try:
+            yield from unary_call(transport, endpoint, "Ping", timeout=0.5)
+        except RpcTimeout as exc:
+            return env.now, str(exc)
+        return None
+
+    env.process(server())
+    now, text = env.run(until=env.process(client()))
+    assert served == ["Ping"]  # the server handled it: only the reply died
+    assert now == pytest.approx(0.5, abs=0.01)
+    assert "reply lost" in text
+    env.run()  # nothing left behind may crash the simulation
+
+
+def test_request_id_pins_message_id(setup):
+    env, network, transport, endpoint = setup
+    rid = new_request_id()
+
+    def server():
+        message = yield endpoint.inbox.get()
+        yield from reply(transport, message, {"id": message.id})
+
+    def client():
+        return (yield from unary_call(transport, endpoint, "Ping",
+                                      request_id=rid))
+
+    env.process(server())
+    assert env.run(until=env.process(client())) == {"id": rid}

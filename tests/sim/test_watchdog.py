@@ -1,0 +1,99 @@
+"""The deadlock watchdog turns silent hangs into loud failures."""
+
+import pytest
+
+from repro.sim import Environment, WatchdogError, pending_summary, run_guarded
+
+
+def test_normal_run_returns_the_event_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        return "done"
+
+    assert run_guarded(env, until=env.process(proc())) == "done"
+    assert env.now == 1.0
+
+
+def test_already_processed_event_returns_immediately():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(0.5)
+        return "early"
+
+    done = env.process(proc())
+    env.run()
+    assert run_guarded(env, until=done) == "early"
+
+
+def test_deadlock_is_named_not_silent():
+    env = Environment()
+    never = env.event()
+
+    def proc():
+        yield never  # nobody will ever trigger this
+
+    with pytest.raises(WatchdogError, match="deadlocked"):
+        run_guarded(env, until=env.process(proc()), what="stuck client")
+
+
+def test_virtual_time_overrun_dumps_pending_events():
+    env = Environment()
+
+    def spinner():
+        while True:
+            yield env.timeout(0.1)
+
+    env.process(spinner())
+
+    def proc():
+        yield env.event()
+
+    with pytest.raises(WatchdogError, match="still pending") as excinfo:
+        run_guarded(env, until=env.process(proc()), deadline=5.0)
+    assert "Timeout" in str(excinfo.value)  # the spinner's next events
+
+
+def test_overrun_without_target_event():
+    env = Environment()
+
+    def spinner():
+        while True:
+            yield env.timeout(0.1)
+
+    env.process(spinner())
+    with pytest.raises(WatchdogError, match="still running"):
+        run_guarded(env, deadline=2.0)
+
+
+def test_clean_exhaustion_without_target_event():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    env.process(proc())
+    assert run_guarded(env, deadline=10.0) is None
+    assert env.peek() == float("inf")  # the schedule drained cleanly
+
+
+def test_failed_until_event_raises_the_original_error():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(0.1)
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError, match="boom"):
+        run_guarded(env, until=env.process(proc()))
+
+
+def test_pending_summary_formats_schedule():
+    env = Environment()
+    env.timeout(1.5)
+    text = pending_summary(env)
+    assert "t=1.5" in text
+    assert "Timeout" in text
+    assert pending_summary(Environment()) == "schedule empty"
