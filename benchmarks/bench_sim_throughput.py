@@ -15,10 +15,14 @@ same machine, which the quick benchmark cannot afford to repeat.
 
 import json
 import platform
+import statistics
 import time
 from pathlib import Path
 
-from repro.experiments.tables import run_use_case
+from repro.experiments.config import load_timing, rates_for
+from repro.experiments.loadtest import run_scenario
+from repro.experiments.tables import ACCELERATORS, APP_FACTORIES, run_use_case
+from repro.faults import NetworkFaultPlane
 from repro.sim import Environment
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -68,32 +72,66 @@ def test_table2_quick_wall(benchmark):
     assert len(results) == 6
 
 
+#: Runs per arm of the hook-overhead measurement.  Single-shot walls on a
+#: shared machine are noisy enough to report *negative* overheads; the
+#: median of five in-process runs per arm keeps noise out of the ratio.
+OVERHEAD_RUNS = 5
+
+
+def _scenario_wall(network_setup) -> float:
+    """Wall clock of one quick Table-II "low" BlastFunction scenario."""
+    start = time.perf_counter()
+    run_scenario(
+        use_case="sobel",
+        configuration="low",
+        runtime="blastfunction",
+        app_factory=APP_FACTORIES["sobel"],
+        accelerator=ACCELERATORS["sobel"],
+        rates=rates_for("sobel", "low", "blastfunction"),
+        timing=load_timing(),
+        network_setup=network_setup,
+    )
+    return time.perf_counter() - start
+
+
 def test_disabled_fault_hook_overhead():
     """The fault-injection hooks must be ~free while disabled.
 
-    Every control delivery now passes through the ``network.faults is
-    None`` check in ``Transport.deliver_to_*`` and every unary call through
-    the client-side reply-loss branch.  Disabled, that machinery may cost
-    at most a couple of percent of the committed pre-hook Table II wall
-    clock (``quick_wall_s`` in the committed ``BENCH_simcore.json``).
+    Every control delivery passes through the ``network.faults is None``
+    check in ``Transport.deliver_to_*`` and every unary call through the
+    client-side reply-loss branch.  This measures what the hooks cost by
+    comparing two arms on the *same* machine in the *same* process:
 
-    The committed baseline was measured on the machine that produced the
-    committed file; on other hardware the ratio is only indicative, so the
-    hard gate here is the same 25 % collapse bound the CI perf smoke uses,
-    while the precise percentage is recorded for the curious.
+    * **disabled** — no fault plane attached (``network.faults is None``),
+      the default of every experiment;
+    * **inert** — a zero-rate :class:`NetworkFaultPlane` attached, so
+      every message takes the full hook path but no fault ever fires.
+
+    Each arm is the median of ``OVERHEAD_RUNS`` identical runs, so
+    scheduler noise cannot report a negative cost the way the old
+    single-run-vs-committed-baseline comparison (recorded on different
+    hardware) once did.
     """
-    assert "table2_quick_wall_s" in _results, "wall-clock bench must run first"
-    committed = json.loads(OUTPUT.read_text()) if OUTPUT.exists() else None
-    baseline = (committed or {}).get("table2", {}).get("quick_wall_s")
-    if baseline is None:
-        _results["disabled_hook_overhead_pct"] = None
-        return
-    overhead_pct = (_results["table2_quick_wall_s"] / baseline - 1.0) * 100
+
+    def inert_plane(network) -> None:
+        network.faults = NetworkFaultPlane(
+            seed=1, drop_rate=0.0, duplicate_rate=0.0,
+            delay_rate=0.0, delay=0.0,
+        )
+
+    disabled = statistics.median(
+        _scenario_wall(None) for _ in range(OVERHEAD_RUNS)
+    )
+    inert = statistics.median(
+        _scenario_wall(inert_plane) for _ in range(OVERHEAD_RUNS)
+    )
+    overhead_pct = (inert / disabled - 1.0) * 100
     _results["disabled_hook_overhead_pct"] = round(overhead_pct, 2)
-    _results["hook_baseline_quick_wall_s"] = baseline
+    _results["hook_disabled_median_s"] = round(disabled, 3)
+    _results["hook_inert_median_s"] = round(inert, 3)
     assert overhead_pct < 25.0, (
-        f"disabled fault hooks cost {overhead_pct:.1f}% of the Table II "
-        f"wall clock (baseline {baseline}s)"
+        f"fault hooks cost {overhead_pct:.1f}% of the Table II scenario "
+        f"wall clock (disabled {disabled:.3f}s vs inert {inert:.3f}s)"
     )
 
 
@@ -103,7 +141,12 @@ def test_write_bench_json():
     faults = {
         "disabled_hook_overhead_pct": _results.get(
             "disabled_hook_overhead_pct"),
-        "baseline_quick_wall_s": _results.get("hook_baseline_quick_wall_s"),
+        "disabled_median_s": _results.get("hook_disabled_median_s"),
+        "inert_median_s": _results.get("hook_inert_median_s"),
+        "method": (
+            f"median of {OVERHEAD_RUNS} in-process quick Table-II 'low' "
+            "runs per arm (no plane vs zero-rate plane)"
+        ),
     }
     OUTPUT.write_text(json.dumps({
         "python": platform.python_version(),

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Scale smoke: gate control-plane regressions at fleet size in CI.
+
+Runs the 64-board cell of the scale sweep (quick windows) and compares
+its two scale-critical measurements against the committed
+``BENCH_scale.json``:
+
+* **indexed allocation latency** (``indexed_alloc_us``) — the micro-bench
+  of Algorithm 1 over the :class:`~repro.core.registry.index.DeviceIndex`
+  on the live 64-board state;
+* **DES throughput** (``events_per_sec``) — events/sec during the load
+  phase, which collapses if periodic control work (heartbeats, leases,
+  scrapes) stops riding the shared timer wheel.
+
+Absolute numbers vary across runner hardware, so the budget is the same
+generous 25 % the perf smoke uses, applied to the *best* of up to
+``MAX_RUNS`` cell runs per metric: a genuine algorithmic regression (a
+de-indexed allocator is ~20x, per-board timers are ~10x at this size)
+fails every run, while a single noisy run on a loaded runner does not.
+A run that already meets both gates short-circuits the rest.
+
+Usage: ``PYTHONPATH=src python scripts/scale_smoke.py``
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+ALLOWED_REGRESSION = 1.25
+BOARDS = 64
+MAX_RUNS = 3
+
+
+def main() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.experiments.scale import run_scale_cell
+
+    baseline_cells = json.loads(
+        (ROOT / "BENCH_scale.json").read_text()
+    )["cells"]
+    baseline = baseline_cells[str(BOARDS)]
+    alloc_budget = baseline["indexed_alloc_us"] * ALLOWED_REGRESSION
+    events_floor = baseline["events_per_sec"] / ALLOWED_REGRESSION
+
+    # Warm-up pass: imports, allocator pools, first-run caches.
+    run_scale_cell(3)
+
+    best_alloc = float("inf")
+    best_events = 0.0
+    for attempt in range(1, MAX_RUNS + 1):
+        cell = run_scale_cell(BOARDS)
+        best_alloc = min(best_alloc, cell.indexed_alloc_us)
+        best_events = max(best_events, cell.events_per_sec)
+        print(f"scale {BOARDS}-board cell (run {attempt}/{MAX_RUNS}): "
+              f"indexed alloc {cell.indexed_alloc_us:.1f}us "
+              f"(baseline {baseline['indexed_alloc_us']}us, "
+              f"budget {alloc_budget:.1f}us), "
+              f"{cell.events_per_sec:,.0f} ev/s "
+              f"(baseline {baseline['events_per_sec']:,}, "
+              f"floor {events_floor:,.0f}), "
+              f"speedup {cell.alloc_speedup:.1f}x, "
+              f"wall {cell.wall_s:.1f}s")
+        if best_alloc <= alloc_budget and best_events >= events_floor:
+            break
+
+    failed = False
+    if best_alloc > alloc_budget:
+        print("FAIL: indexed allocation latency regressed more than "
+              f"{ALLOWED_REGRESSION - 1:.0%} over the committed baseline "
+              f"in all {MAX_RUNS} runs")
+        failed = True
+    if best_events < events_floor:
+        print("FAIL: DES events/sec regressed more than "
+              f"{ALLOWED_REGRESSION - 1:.0%} under the committed baseline "
+              f"in all {MAX_RUNS} runs")
+        failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,8 @@ class Cluster:
         self.env = env
         self.nodes: Dict[str, ClusterNode] = {}
         self.pods: Dict[str, Pod] = {}
+        #: Per-function pod index (insertion-ordered, like a full scan).
+        self._pods_by_function: Dict[str, Dict[str, Pod]] = {}
         self._admission_hooks: List[AdmissionHook] = []
         self._watchers: List[Watcher] = []
         self._round_robin = 0
@@ -102,6 +104,7 @@ class Cluster:
         pod = Pod(spec)
         pod.created_at = self.env.now
         self.pods[spec.name] = pod
+        self._pods_by_function.setdefault(spec.function, {})[spec.name] = pod
         self._schedule(pod)
         self._notify(WatchEventType.ADDED, pod)
         yield self.env.timeout(self.POD_START_DELAY)
@@ -116,6 +119,9 @@ class Cluster:
         pod = self.pods.pop(name, None)
         if pod is None:
             return None
+        of_function = self._pods_by_function.get(pod.spec.function)
+        if of_function is not None:
+            of_function.pop(name, None)
         if pod.node is not None:
             pod.node.pods.pop(pod.name, None)
         pod.phase = PodPhase.TERMINATED
@@ -135,7 +141,7 @@ class Cluster:
         return list(self.node(node_name).pods.values())
 
     def pods_of_function(self, function: str) -> List[Pod]:
-        return [p for p in self.pods.values() if p.spec.function == function]
+        return list(self._pods_by_function.get(function, {}).values())
 
     # -- scheduling -----------------------------------------------------------
     def _schedule(self, pod: Pod) -> None:

@@ -36,6 +36,29 @@ class MetricsGatherer:
         rate = series[0].rate(self.window, now=self.scraper.env.now)
         return 0.0 if math.isnan(rate) else max(rate, 0.0)
 
+    def utilization_detail(self, device: str) -> tuple:
+        """``(utilization, valid_until)`` for incremental caching.
+
+        The trailing-window rate is a pure function of the in-window
+        sample set, so a cached value can only change when a new sample
+        is scraped or when the current first-in-window sample falls out —
+        at any time strictly after ``valid_until``.  ``valid_until`` is
+        ``inf`` when no falloff can change the value (fewer than two
+        in-window samples): only the next scrape matters then.
+        """
+        series = self.scraper.database.select_matching(
+            "dm_busy_seconds_total", instance=device
+        )
+        if not series:
+            return 0.0, math.inf
+        now = self.scraper.env.now
+        rate = series[0].rate(self.window, now=now)
+        value = 0.0 if math.isnan(rate) else max(rate, 0.0)
+        first = series[0].first_time_in(now - self.window, now)
+        if math.isnan(rate) or first is None:
+            return value, math.inf
+        return value, first + self.window
+
     def function_utilization(self, device: str, client: str) -> float:
         """Per-function share of a device's busy time (Table II's Util.)."""
         series = self.scraper.database.select_matching(

@@ -28,10 +28,24 @@ HEARTBEAT = "Heartbeat"
 
 
 class HealthMonitor:
-    """Lease bookkeeping on the Registry side plus per-manager beaters."""
+    """Lease bookkeeping on the Registry side plus per-manager beaters.
+
+    Two modes, selected by :attr:`~repro.faults.HealthPolicy.coalesce`:
+
+    * **per-board** (default): every manager runs its own heartbeat
+      process and every beat is a control message on the simulated
+      network — full fault-plane fidelity, O(boards) DES events per
+      heartbeat interval;
+    * **coalesced**: one shared :class:`~repro.sim.TimerWheel` tick renews
+      every healthy manager's lease and runs the expiry check — O(1)
+      periodic events regardless of fleet size.  Failure detection
+      semantics (lease age vs ``lease_timeout``, revival on recovery) are
+      unchanged, but heartbeats no longer traverse the network, so
+      message-level faults cannot delay them.
+    """
 
     def __init__(self, env: Environment, registry, network: Network,
-                 policy: HealthPolicy | None = None):
+                 policy: HealthPolicy | None = None, wheel=None):
         self.env = env
         self.registry = registry
         self.network = network
@@ -44,22 +58,71 @@ class HealthMonitor:
         self.failures_detected: List[Tuple[float, str]] = []
         self.recoveries_detected: List[Tuple[float, str]] = []
         self._procs = []
+        self._managers = []
+        self.wheel = None
+        self._subscription = None
+        if self.policy.coalesce:
+            from ...sim import TimerWheel
+
+            self.wheel = wheel if wheel is not None else TimerWheel(
+                env, self.policy.heartbeat_interval
+            )
+            self._subscription = self.wheel.every(
+                self.wheel.ticks_for(self.policy.heartbeat_interval),
+                self._tick,
+            )
         for record in registry.devices.all():
             self.watch_manager(record.manager)
         self._procs.append(env.process(self._receiver()))
-        self._procs.append(env.process(self._checker()))
+        if not self.policy.coalesce:
+            self._procs.append(env.process(self._checker()))
 
     def stop(self) -> None:
         for process in self._procs:
             if process.is_alive:
                 process.interrupt("health monitor stopped")
+        if self.wheel is not None and self._subscription is not None:
+            self.wheel.cancel(self._subscription)
+            self._subscription = None
 
     def watch_manager(self, manager) -> None:
         """Start a heartbeat sender on a manager's node."""
+        self.last_seen[manager.name] = self.env.now
+        self._managers.append(manager)
+        if self.policy.coalesce:
+            return  # the shared wheel tick covers this manager
         transport = make_transport(self.env, self.network, manager.node,
                                    self.host)
-        self.last_seen[manager.name] = self.env.now
         self._procs.append(self.env.process(self._beat(manager, transport)))
+
+    # -- coalesced mode ------------------------------------------------------
+    def _tick(self) -> None:
+        """One wheel tick: renew healthy leases, then expire stale ones."""
+        now = self.env.now
+        for manager in self._managers:
+            if not (manager.healthy and manager.board.alive):
+                continue
+            self.last_seen[manager.name] = now
+            try:
+                record = self.registry.devices.get(manager.name)
+            except KeyError:
+                continue
+            if not record.alive:
+                self.recoveries_detected.append((now, manager.name))
+                self.registry.on_device_recovery(manager.name)
+        self._check_leases(now)
+
+    def _check_leases(self, now: float) -> None:
+        for name, seen in sorted(self.last_seen.items()):
+            if now - seen <= self.policy.lease_timeout:
+                continue
+            try:
+                record = self.registry.devices.get(name)
+            except KeyError:
+                continue
+            if record.alive:
+                self.failures_detected.append((now, name))
+                self.registry.on_device_failure(name)
 
     # -- processes -----------------------------------------------------------
     def _beat(self, manager, transport):
@@ -97,16 +160,6 @@ class HealthMonitor:
         try:
             while True:
                 yield self.env.timeout(self.policy.heartbeat_interval)
-                now = self.env.now
-                for name, seen in sorted(self.last_seen.items()):
-                    if now - seen <= self.policy.lease_timeout:
-                        continue
-                    try:
-                        record = self.registry.devices.get(name)
-                    except KeyError:
-                        continue
-                    if record.alive:
-                        self.failures_detected.append((now, name))
-                        self.registry.on_device_failure(name)
+                self._check_leases(self.env.now)
         except Interrupt:
             return

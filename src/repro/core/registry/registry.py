@@ -18,6 +18,10 @@ allocates devices to functions and it validates reconfiguration operations"
 
 from __future__ import annotations
 
+import heapq
+import math
+import os
+import time as _time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ...cluster.apiserver import Cluster
@@ -39,13 +43,20 @@ from .allocation import (
     allocate,
 )
 from .gatherer import MetricsGatherer
-from .services import DevicesService, FunctionsService, InstanceRecord
+from .index import DeviceIndex
+from .services import DeviceRecord, DevicesService, FunctionsService, \
+    InstanceRecord
 
 #: Pod environment variable carrying the allocated Device Manager address.
 MANAGER_ENV = "BF_MANAGER"
 
 #: Migration callback: (instance_name, function_name) -> process generator.
 Migrator = Callable[[str, str], object]
+
+#: Override the allocator implementation ("indexed" | "oracle" | "both")
+#: without touching call sites; "both" runs both and asserts equal
+#: decisions on every allocation (slow, for debugging).
+ALLOCATOR_ENV = "REPRO_ALLOCATOR"
 
 
 class AcceleratorsRegistry:
@@ -61,6 +72,7 @@ class AcceleratorsRegistry:
         metrics_filters: Sequence[MetricFilter] = (),
         metrics_window: float = 10.0,
         use_shm: bool = True,
+        allocator: str = "indexed",
     ):
         self.env = env
         self.cluster = cluster
@@ -79,8 +91,28 @@ class AcceleratorsRegistry:
         self.allocations = 0
         self.migrations = 0
         self.device_failures = 0
+        #: Host wall clock accumulated inside Algorithm 1, seconds
+        #: (allocation latency = alloc_wall / allocations).
+        self.alloc_wall = 0.0
         #: Heartbeat/lease monitor, armed by :meth:`enable_health`.
         self.health = None
+
+        allocator = os.environ.get(ALLOCATOR_ENV, "") or allocator
+        if allocator not in ("indexed", "oracle", "both"):
+            raise ValueError(f"unknown allocator {allocator!r}")
+        self.allocator = allocator
+        #: Incremental Algorithm 1 index; None in pure-oracle mode.
+        self.index: Optional[DeviceIndex] = (
+            DeviceIndex(self.metrics_order, self.metrics_filters)
+            if allocator != "oracle" else None
+        )
+        #: Utilization falloff tracking: (valid_until, device) heap plus
+        #: the authoritative valid_until per device (heap entries that
+        #: disagree are stale and skipped).
+        self._falloff: list = []
+        self._valid_until: Dict[str, float] = {}
+        if self.index is not None and scraper is not None:
+            scraper.add_listener(self._on_scrape)
 
         for manager in managers:
             self.register_manager(manager)
@@ -90,7 +122,7 @@ class AcceleratorsRegistry:
 
     def register_manager(self, manager: DeviceManager) -> None:
         """Add a Device Manager to the Devices Service (autoscaled nodes)."""
-        self.devices.register(manager)
+        record = self.devices.register(manager)
         manager.reconfiguration_validator = self._validate_reconfiguration
         if self.gatherer is not None:
             self.gatherer.scraper.add_target(
@@ -98,6 +130,7 @@ class AcceleratorsRegistry:
             )
         if self.health is not None:
             self.health.watch_manager(manager)
+        self._index_refresh(record)
 
     def deregister_manager(self, manager_name: str) -> bool:
         """Forget a retired device; refuses while instances are allocated."""
@@ -110,6 +143,9 @@ class AcceleratorsRegistry:
         self.devices.remove(manager_name)
         if self.gatherer is not None:
             self.gatherer.scraper.remove_target(manager_name)
+        if self.index is not None:
+            self.index.remove(manager_name)
+            self._valid_until.pop(manager_name, None)
         return True
 
     # -- public API ----------------------------------------------------------
@@ -117,54 +153,123 @@ class AcceleratorsRegistry:
         """Pre-register a function's device requirements."""
         self.functions.register(name, query)
 
+    def _view_of(self, record: DeviceRecord,
+                 metrics: Optional[Dict[str, float]] = None) -> DeviceView:
+        """Build one device's Algorithm 1 snapshot."""
+        if metrics is None:
+            metrics = (
+                self.gatherer.device_metrics(record.name)
+                if self.gatherer
+                else {}
+            )
+        # The Registry's own Functions Service is authoritative (and
+        # fresher than the last scrape) for connected-function counts.
+        metrics["connected_functions"] = float(len(record.instances))
+        workloads = tuple(
+            (inst.name, self.functions.get(inst.function)
+             .device_query.accelerator)
+            for inst in self.functions.instances_on_device(record.name)
+        )
+        return DeviceView(
+            name=record.name,
+            node=record.node,
+            vendor=record.vendor,
+            platform=record.platform,
+            bitstream=record.effective_bitstream,
+            available_bitstreams=record.manager.library.names(),
+            metrics=metrics,
+            workloads=workloads,
+        )
+
     def device_views(self) -> List[DeviceView]:
         """Snapshot the Devices Service + Metrics Gatherer for Algorithm 1.
 
         Dead devices are excluded: Algorithm 1 only ever allocates (or
         migrates) onto boards whose lease is current.
         """
-        views = []
-        for record in self.devices.all():
-            if not record.alive:
+        return [
+            self._view_of(record)
+            for record in self.devices.all()
+            if record.alive
+        ]
+
+    # -- index maintenance -------------------------------------------------
+    def _index_refresh(self, record: Optional[DeviceRecord]) -> None:
+        """Rebuild one device's indexed view after any relevant change."""
+        if self.index is None or record is None:
+            return
+        if not record.alive:
+            self.index.remove(record.name)
+            self._valid_until.pop(record.name, None)
+            return
+        if self.gatherer is not None:
+            utilization, valid_until = (
+                self.gatherer.utilization_detail(record.name)
+            )
+            metrics = {
+                "utilization": utilization,
+                "connected_functions": 0.0,  # overwritten by _view_of
+                "queue_depth": self.gatherer.queue_depth(record.name),
+            }
+        else:
+            metrics = {}
+            valid_until = math.inf
+        self.index.refresh(self._view_of(record, metrics))
+        if valid_until != self._valid_until.get(record.name):
+            self._valid_until[record.name] = valid_until
+            if not math.isinf(valid_until):
+                heapq.heappush(self._falloff, (valid_until, record.name))
+
+    def _refresh_stale(self, now: float) -> None:
+        """Re-derive utilization for devices whose cached trailing-window
+        rate expired (first in-window sample fell out of the window)."""
+        falloff = self._falloff
+        while falloff and falloff[0][0] < now:
+            valid_until, name = heapq.heappop(falloff)
+            if self._valid_until.get(name) != valid_until:
+                continue  # superseded by a newer refresh
+            try:
+                record = self.devices.get(name)
+            except KeyError:
                 continue
-            metrics = (
-                self.gatherer.device_metrics(record.name)
-                if self.gatherer
-                else {}
-            )
-            # The Registry's own Functions Service is authoritative (and
-            # fresher than the last scrape) for connected-function counts.
-            metrics["connected_functions"] = float(len(record.instances))
-            workloads = tuple(
-                (inst.name, self.functions.get(inst.function)
-                 .device_query.accelerator)
-                for inst in self.functions.instances_on_device(record.name)
-            )
-            views.append(DeviceView(
-                name=record.name,
-                node=record.node,
-                vendor=record.vendor,
-                platform=record.platform,
-                bitstream=record.effective_bitstream,
-                available_bitstreams=record.manager.library.names(),
-                metrics=metrics,
-                workloads=workloads,
-            ))
-        return views
+            self._index_refresh(record)
+
+    def _on_scrape(self, now: float) -> None:
+        """Scrape listener: fold fresh samples into the allocator index."""
+        for record in self.devices.all():
+            if record.alive:
+                self._index_refresh(record)
 
     # -- admission (allocation) -------------------------------------------------
+    def _allocate(self, query: DeviceQuery,
+                  node_hint: str) -> AllocationDecision:
+        """Run Algorithm 1 through the configured implementation."""
+        start = _time.perf_counter()
+        if self.index is not None:
+            self._refresh_stale(self.env.now)
+            decision = self.index.allocate(query, node_hint)
+            if self.allocator == "both":
+                oracle = allocate(query, node_hint, self.device_views(),
+                                  self.metrics_order, self.metrics_filters)
+                assert (
+                    decision.device.name == oracle.device.name
+                    and decision.node == oracle.node
+                    and decision.needs_reconfiguration
+                    == oracle.needs_reconfiguration
+                    and decision.redistribution == oracle.redistribution
+                ), f"allocator divergence: {decision} != {oracle}"
+        else:
+            decision = allocate(query, node_hint, self.device_views(),
+                                self.metrics_order, self.metrics_filters)
+        self.alloc_wall += _time.perf_counter() - start
+        self.allocations += 1
+        return decision
+
     def _admit(self, spec: PodSpec) -> None:
         """Mutating admission: run Algorithm 1 and patch the pod spec."""
         function = self.functions.register(spec.function, spec.device_query)
         query = function.device_query
-        decision = allocate(
-            query,
-            spec.node_name,
-            self.device_views(),
-            self.metrics_order,
-            self.metrics_filters,
-        )
-        self.allocations += 1
+        decision = self._allocate(query, spec.node_name)
 
         record = self.devices.get(decision.device.name)
         spec.env[MANAGER_ENV] = record.name
@@ -182,6 +287,7 @@ class AcceleratorsRegistry:
             record.pending_bitstream = query.accelerator
             if decision.redistribution:
                 self._migrate(decision.redistribution)
+        self._index_refresh(record)
 
     def _migrate(self, moves: List) -> None:
         """Kick off create-before-delete migrations of displaced instances."""
@@ -200,11 +306,13 @@ class AcceleratorsRegistry:
                 self.cluster.delete_pod(instance_name)
 
     # -- failure detection and recovery ---------------------------------------
-    def enable_health(self, network=None, policy=None):
+    def enable_health(self, network=None, policy=None, wheel=None):
         """Arm the heartbeat/lease protocol between managers and Registry.
 
         Returns the :class:`~repro.core.registry.health.HealthMonitor`.
         Without this call no health machinery runs at all (the default).
+        ``wheel`` shares a :class:`~repro.sim.TimerWheel` with other
+        periodic work (only used by a coalescing policy).
         """
         from .health import HealthMonitor
 
@@ -215,7 +323,8 @@ class AcceleratorsRegistry:
             if not records:
                 raise ValueError("no managers registered: pass network=")
             network = records[0].manager.network
-        self.health = HealthMonitor(self.env, self, network, policy)
+        self.health = HealthMonitor(self.env, self, network, policy,
+                                    wheel=wheel)
         return self.health
 
     def on_device_failure(self, device_name: str) -> List[str]:
@@ -236,6 +345,7 @@ class AcceleratorsRegistry:
         record.alive = False
         record.pending_bitstream = None
         self.device_failures += 1
+        self._index_refresh(record)  # drops the dead device from the index
         affected = sorted(record.instances)
         for instance_name in affected:
             instance = self.functions.instance(instance_name)
@@ -270,6 +380,7 @@ class AcceleratorsRegistry:
         except KeyError:
             return
         record.alive = True
+        self._index_refresh(record)
 
     # -- watch ------------------------------------------------------------------
     def _on_watch(self, event: WatchEvent) -> None:
@@ -280,11 +391,11 @@ class AcceleratorsRegistry:
             )
             if instance and instance.device:
                 try:
-                    self.devices.get(instance.device).instances.discard(
-                        pod.name
-                    )
+                    record = self.devices.get(instance.device)
                 except KeyError:
-                    pass
+                    return
+                record.instances.discard(pod.name)
+                self._index_refresh(record)
 
     # -- reconfiguration validation ------------------------------------------------
     def _validate_reconfiguration(self, client: str, binary: str) -> bool:

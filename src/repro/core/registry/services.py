@@ -53,6 +53,7 @@ class DevicesService:
 
     def __init__(self) -> None:
         self._devices: Dict[str, DeviceRecord] = {}
+        self._sorted: Optional[List[DeviceRecord]] = None
 
     def register(self, manager: DeviceManager) -> DeviceRecord:
         info = manager.library  # vendor/platform come from the bitstreams
@@ -66,6 +67,7 @@ class DevicesService:
             manager=manager,
         )
         self._devices[record.name] = record
+        self._sorted = None
         return record
 
     def get(self, name: str) -> DeviceRecord:
@@ -76,10 +78,16 @@ class DevicesService:
 
     def remove(self, name: str) -> Optional[DeviceRecord]:
         """Forget a device (node retired by the autoscaler)."""
+        self._sorted = None
         return self._devices.pop(name, None)
 
     def all(self) -> List[DeviceRecord]:
-        return sorted(self._devices.values(), key=lambda d: d.name)
+        # Cached between membership changes: re-sorting the whole fleet on
+        # every device_views() call is O(n log n) per allocation at scale.
+        if self._sorted is None:
+            self._sorted = sorted(self._devices.values(),
+                                  key=lambda d: d.name)
+        return list(self._sorted)
 
     def on_node(self, node: str) -> List[DeviceRecord]:
         return [d for d in self.all() if d.node == node]
@@ -96,6 +104,13 @@ class InstanceRecord:
     function: str
     node: str = ""
     device: str = ""
+    #: Registration order of the owning function and insertion order of the
+    #: instance, assigned by the Functions Service.  Together they
+    #: reconstruct the legacy full-scan iteration order (functions in
+    #: registration order, instances in insertion order) from the
+    #: per-device index without walking every function.
+    function_seq: int = 0
+    seq: int = 0
 
 
 @dataclass
@@ -105,18 +120,32 @@ class FunctionRecord:
     name: str
     device_query: DeviceQuery
     instances: Dict[str, InstanceRecord] = field(default_factory=dict)
+    #: Registration order within the Functions Service.
+    seq: int = 0
 
 
 class FunctionsService:
-    """Inventory of registered functions and their instances."""
+    """Inventory of registered functions and their instances.
+
+    Instance lookups are indexed: by name (the Device Manager's
+    reconfiguration validator resolves its client on every BuildProgram)
+    and by device (Algorithm 1 asks for a device's workloads on every
+    allocation) — both were full scans over every registered function.
+    """
 
     def __init__(self) -> None:
         self._functions: Dict[str, FunctionRecord] = {}
+        self._by_name: Dict[str, InstanceRecord] = {}
+        self._by_device: Dict[str, Dict[str, InstanceRecord]] = {}
+        self._function_seq = 0
+        self._instance_seq = 0
 
     def register(self, name: str, device_query: DeviceQuery) -> FunctionRecord:
         record = self._functions.get(name)
         if record is None:
-            record = FunctionRecord(name, device_query)
+            self._function_seq += 1
+            record = FunctionRecord(name, device_query,
+                                    seq=self._function_seq)
             self._functions[name] = record
         return record
 
@@ -127,29 +156,39 @@ class FunctionsService:
             raise KeyError(f"unknown function {name!r}") from None
 
     def add_instance(self, function: str, instance: InstanceRecord) -> None:
-        self.get(function).instances[instance.name] = instance
+        record = self.get(function)
+        self._instance_seq += 1
+        instance.function_seq = record.seq
+        instance.seq = self._instance_seq
+        record.instances[instance.name] = instance
+        self._by_name[instance.name] = instance
+        if instance.device:
+            self._by_device.setdefault(instance.device, {})[
+                instance.name] = instance
 
     def remove_instance(self, function: str, instance_name: str
                         ) -> Optional[InstanceRecord]:
         record = self._functions.get(function)
         if record is None:
             return None
-        return record.instances.pop(instance_name, None)
+        instance = record.instances.pop(instance_name, None)
+        if instance is not None:
+            self._by_name.pop(instance_name, None)
+            on_device = self._by_device.get(instance.device)
+            if on_device is not None:
+                on_device.pop(instance_name, None)
+        return instance
 
     def instance(self, instance_name: str) -> Optional[InstanceRecord]:
-        for record in self._functions.values():
-            found = record.instances.get(instance_name)
-            if found is not None:
-                return found
-        return None
+        return self._by_name.get(instance_name)
 
     def all(self) -> List[FunctionRecord]:
         return sorted(self._functions.values(), key=lambda f: f.name)
 
     def instances_on_device(self, device: str) -> List[InstanceRecord]:
-        return [
-            inst
-            for record in self._functions.values()
-            for inst in record.instances.values()
-            if inst.device == device
-        ]
+        # Sorting by (function registration, instance insertion) replays
+        # the legacy all-functions scan order exactly.
+        return sorted(
+            self._by_device.get(device, {}).values(),
+            key=lambda inst: (inst.function_seq, inst.seq),
+        )

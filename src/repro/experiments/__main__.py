@@ -86,6 +86,18 @@ def _chaos():
     return text, [digest]
 
 
+def _scale():
+    from pathlib import Path
+
+    from .scale import render_scale, run_scale_sweep, write_bench_json
+
+    cells = run_scale_sweep()
+    write_bench_json(
+        cells, Path(__file__).resolve().parents[3] / "BENCH_scale.json"
+    )
+    return render_scale(cells), [cell.to_record() for cell in cells]
+
+
 EXPERIMENTS = {
     "calibration": _calibration,
     "chaos": _chaos,
@@ -99,7 +111,22 @@ EXPERIMENTS = {
     "table2": _table("sobel", render_table2),
     "table3": _table("mm", render_table3),
     "table4": _table("alexnet", render_table4),
+    "scale": _scale,
 }
+
+#: Heavyweight sweeps that must be asked for by name ("all" reproduces
+#: the paper's figures/tables; the scale sweep grows far past them).
+EXCLUDED_FROM_ALL = frozenset({"scale"})
+
+
+def _run_cell(name: str):
+    """Run one experiment cell (top level so worker processes can map it).
+
+    Only the *name* crosses the process boundary; the worker re-resolves
+    the runner in its own interpreter, so closures never get pickled.
+    """
+    text, records = EXPERIMENTS[name]()
+    return name, text, records
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -110,20 +137,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which experiment to run",
+        help="which experiment to run ('all' runs every paper experiment; "
+             "the scale sweep only runs when asked for by name)",
     )
     parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write machine-readable results to PATH",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run independent experiment cells in N worker processes "
+             "(each cell is seed-deterministic, so results are identical "
+             "to --jobs 1; output order is too)",
+    )
     args = parser.parse_args(argv)
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [
-        args.experiment
-    ]
+    if args.experiment == "all":
+        names = [n for n in sorted(EXPERIMENTS) if n not in EXCLUDED_FROM_ALL]
+    else:
+        names = [args.experiment]
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    if args.jobs > 1 and len(names) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(args.jobs, len(names))) as pool:
+            outputs = pool.map(_run_cell, names)
+    else:
+        outputs = [_run_cell(name) for name in names]
+
     all_records: dict = {}
-    for name in names:
-        text, records = EXPERIMENTS[name]()
+    for name, text, records in outputs:
         print(text)
         print()
         all_records[name] = records

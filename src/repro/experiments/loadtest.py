@@ -91,6 +91,7 @@ def run_scenario(
     use_shm: bool = True,
     batching: bool = True,
     functional: bool = False,
+    network_setup: Optional[Callable[[object], None]] = None,
 ) -> ScenarioResult:
     """Run one load-test scenario end to end and return the report.
 
@@ -101,11 +102,16 @@ def run_scenario(
     bytes through the data plane (the zero-copy fast path); functional
     mode materializes buffer contents so kernels compute real results.
     Simulated timings and copy accounting are identical in both modes.
+    ``network_setup`` runs once against the testbed's network before any
+    deployment — the hook the fault-overhead benchmark uses to attach an
+    inert :class:`~repro.faults.NetworkFaultPlane`.
     """
     timing = timing or load_timing()
     env = env or Environment()
     testbed = build_testbed(env, functional=functional, scrape_interval=1.0,
                             batching=batching)
+    if network_setup is not None:
+        network_setup(testbed.network)
     gateway = Gateway(env, testbed.cluster)
 
     if runtime == "blastfunction":

@@ -56,6 +56,14 @@ class HealthPolicy:
     #: A lease older than this marks the device dead (its instances are
     #: migrated); a fresh heartbeat afterwards revives it.
     lease_timeout: float = 2.0
+    #: Coalesce all heartbeat senders and the lease checker onto one shared
+    #: periodic timer wheel instead of per-board DES timers and per-beat
+    #: network messages.  Cuts the idle event volume from O(boards) to O(1)
+    #: per interval — the fleet-scale mode.  Trade-off: coalesced
+    #: heartbeats renew leases directly (healthy manager ⇒ renewed lease),
+    #: so per-message network faults (loss, partition) no longer delay
+    #: them; keep the default for fault-injection experiments.
+    coalesce: bool = False
 
 
 @dataclass(frozen=True)

@@ -34,12 +34,29 @@ class _Child:
         self._family = family
         self._labels = labels
         self._value = 0.0
+        # Render caches, fixed at creation: the label dict and the sorted
+        # "key=value" tuple used by collect()/scrapes.
+        self._label_dict = dict(zip(family.labelnames, labels))
+        self._label_key = tuple(
+            f"{k}={v}" for k, v in sorted(self._label_dict.items())
+        )
         # Histogram-only state:
         self._sum = 0.0
         self._count = 0
         self._bucket_counts: Optional[list[int]] = None
+        self._bucket_label_dicts: Optional[list[dict]] = None
+        self._bucket_label_keys: Optional[list[LabelValues]] = None
         if family.type == "histogram":
             self._bucket_counts = [0] * len(family.buckets)
+            self._bucket_label_dicts = []
+            self._bucket_label_keys = []
+            for bound in family.buckets:
+                le = "+Inf" if math.isinf(bound) else repr(bound)
+                bucket_labels = {**self._label_dict, "le": le}
+                self._bucket_label_dicts.append(bucket_labels)
+                self._bucket_label_keys.append(tuple(
+                    f"{k}={v}" for k, v in sorted(bucket_labels.items())
+                ))
 
     @property
     def value(self) -> float:
@@ -62,17 +79,20 @@ class _Child:
         if self._family.type == "histogram":
             raise MetricError("use observe() on histograms")
         self._value += amount
+        self._family._version += 1
 
     # -- gauge -----------------------------------------------------------
     def dec(self, amount: float = 1.0) -> None:
         if self._family.type != "gauge":
             raise MetricError("dec() is only valid on gauges")
         self._value -= amount
+        self._family._version += 1
 
     def set(self, value: float) -> None:
         if self._family.type != "gauge":
             raise MetricError("set() is only valid on gauges")
         self._value = float(value)
+        self._family._version += 1
 
     # -- histogram ---------------------------------------------------------
     def observe(self, value: float) -> None:
@@ -81,6 +101,7 @@ class _Child:
         assert self._bucket_counts is not None
         self._sum += value
         self._count += 1
+        self._family._version += 1
         # Buckets are stored non-cumulatively; samples() cumulates on render.
         for index, bound in enumerate(self._family.buckets):
             if value <= bound:
@@ -137,6 +158,20 @@ class MetricFamily:
             buckets = buckets + (float("inf"),)
         self.buckets = buckets
         self._children: Dict[LabelValues, _Child] = {}
+        #: Bumped on every sample mutation and child creation; the caches
+        #: below remember the version they were computed at, so unchanged
+        #: families are never re-sorted or re-rendered (scrapes only pay
+        #: for dirty families).
+        self._version = 1
+        #: Bumped on child creation only — the sorted ordering of children
+        #: (and of each child's labels) cannot change otherwise.
+        self._children_version = 1
+        self._sorted_version = 0
+        self._sorted_cache: list = []
+        self._rows_version = 0
+        self._rows_cache: list = []
+        self._text_version = 0
+        self._text_cache = ""
         if not self.labelnames:
             # Unlabelled metrics are exposed immediately (at zero), like the
             # Prometheus client library does.
@@ -163,7 +198,17 @@ class MetricFamily:
         if child is None:
             child = _Child(self, values)
             self._children[values] = child
+            self._children_version += 1
+            self._version += 1
         return child
+
+    def _sorted_children(self) -> list:
+        # Invalidated on child creation only (sample mutations cannot
+        # reorder a fixed label set).
+        if self._sorted_version != self._children_version:
+            self._sorted_cache = sorted(self._children.items())
+            self._sorted_version = self._children_version
+        return self._sorted_cache
 
     @property
     def _default(self) -> _Child:
@@ -188,25 +233,49 @@ class MetricFamily:
     def value(self) -> float:
         return self._default.value
 
-    def samples(self) -> Iterable[Tuple[str, Mapping[str, str], float]]:
-        """Yield ``(sample_name, labels, value)`` triples, Prometheus-style."""
-        for labelvalues, child in sorted(self._children.items()):
-            labels = dict(zip(self.labelnames, labelvalues))
-            if self.type == "histogram":
+    def collect_rows(self) -> list:
+        """Cached ``(sample_name, labels, label_key, value)`` rows.
+
+        ``label_key`` is the sorted ``"key=value"`` tuple collect()/scrapes
+        key children by.  Rows are recomputed only when the family changed
+        since the last call (dirty-family tracking): a scrape re-renders
+        only the families that were touched since the previous scrape.
+        """
+        if self._rows_version == self._version:
+            return self._rows_cache
+        rows: list = []
+        name = self.name
+        if self.type == "histogram":
+            bucket_name = f"{name}_bucket"
+            sum_name = f"{name}_sum"
+            count_name = f"{name}_count"
+            for _labelvalues, child in self._sorted_children():
                 cumulative = 0
                 assert child._bucket_counts is not None
-                for bound, bucket_count in zip(self.buckets, child._bucket_counts):
+                for index, bucket_count in enumerate(child._bucket_counts):
                     cumulative += bucket_count
-                    le = "+Inf" if math.isinf(bound) else repr(bound)
-                    yield (
-                        f"{self.name}_bucket",
-                        {**labels, "le": le},
+                    rows.append((
+                        bucket_name,
+                        child._bucket_label_dicts[index],
+                        child._bucket_label_keys[index],
                         float(cumulative),
-                    )
-                yield f"{self.name}_sum", labels, child._sum
-                yield f"{self.name}_count", labels, float(child._count)
-            else:
-                yield self.name, labels, child._value
+                    ))
+                rows.append((sum_name, child._label_dict,
+                             child._label_key, child._sum))
+                rows.append((count_name, child._label_dict,
+                             child._label_key, float(child._count)))
+        else:
+            for _labelvalues, child in self._sorted_children():
+                rows.append((name, child._label_dict,
+                             child._label_key, child._value))
+        self._rows_cache = rows
+        self._rows_version = self._version
+        return rows
+
+    def samples(self) -> Iterable[Tuple[str, Mapping[str, str], float]]:
+        """Yield ``(sample_name, labels, value)`` triples, Prometheus-style."""
+        for sample_name, labels, _key, value in self.collect_rows():
+            yield sample_name, labels, value
 
 
 class MetricsRegistry:
@@ -263,23 +332,32 @@ class MetricsRegistry:
         """Snapshot all scalar samples as ``{name: {labelvalues: value}}``."""
         snapshot: Dict[str, Dict[LabelValues, float]] = {}
         for family in self._families.values():
-            for sample_name, labels, value in family.samples():
-                key = tuple(f"{k}={v}" for k, v in sorted(labels.items()))
+            for sample_name, _labels, key, value in family.collect_rows():
                 snapshot.setdefault(sample_name, {})[key] = value
         return snapshot
 
     def render_text(self) -> str:
-        """Render the registry in the Prometheus text exposition format."""
-        lines: list[str] = []
+        """Render the registry in the Prometheus text exposition format.
+
+        Per-family text blocks are cached and re-rendered only for
+        families touched since the previous render.
+        """
+        blocks: list[str] = []
         for family in self._families.values():
-            lines.append(f"# HELP {family.name} {family.help}")
-            lines.append(f"# TYPE {family.name} {family.type}")
-            for sample_name, labels, value in family.samples():
-                if labels:
-                    rendered = ",".join(
-                        f'{key}="{val}"' for key, val in labels.items()
-                    )
-                    lines.append(f"{sample_name}{{{rendered}}} {value}")
-                else:
-                    lines.append(f"{sample_name} {value}")
-        return "\n".join(lines) + "\n"
+            if family._text_version != family._version:
+                lines = [
+                    f"# HELP {family.name} {family.help}",
+                    f"# TYPE {family.name} {family.type}",
+                ]
+                for sample_name, labels, _key, value in family.collect_rows():
+                    if labels:
+                        rendered = ",".join(
+                            f'{key}="{val}"' for key, val in labels.items()
+                        )
+                        lines.append(f"{sample_name}{{{rendered}}} {value}")
+                    else:
+                        lines.append(f"{sample_name} {value}")
+                family._text_cache = "\n".join(lines)
+                family._text_version = family._version
+            blocks.append(family._text_cache)
+        return "\n".join(blocks) + "\n"

@@ -5,11 +5,23 @@ registered target's :class:`~repro.metrics.registry.MetricsRegistry` into a
 :class:`~repro.metrics.timeseries.TimeSeriesDatabase`.  The Accelerators
 Registry's Metrics Gatherer then issues rate/avg queries against that
 database, exactly as the paper's Registry queries Prometheus.
+
+Scale machinery (all off by default, bit-identical when unused):
+
+* each target memoizes the mapping from a family's sample rows to the
+  database series objects, so the steady-state scrape is one list append
+  per sample — no label-string rebuilding, no dict churn;
+* ``retention`` bounds every created series to a trailing ring buffer;
+* ``wheel`` rides a shared :class:`~repro.sim.wheel.TimerWheel` instead of
+  scheduling a private periodic event, and listeners registered through
+  :meth:`add_listener` run synchronously after every scrape (the indexed
+  allocator refreshes utilization entries from there).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import time as _time
+from typing import Callable, Dict, List, Optional
 
 from ..sim import Environment, Interrupt
 from .registry import MetricsRegistry
@@ -24,20 +36,43 @@ class ScrapeTarget:
         self.name = name
         self.registry = registry
         self.instance_labels = dict(instance_labels or {})
+        self.base_labels = tuple(
+            f"{k}={v}" for k, v in sorted(
+                {**self.instance_labels, "instance": self.name}.items()
+            )
+        )
+        #: (sample_name, label_key) -> TimeSeries, filled on first scrape.
+        self._series_cache: dict = {}
 
 
 class Scraper:
     """Periodically scrapes all targets into a time-series database."""
 
-    def __init__(self, env: Environment, interval: float = 1.0):
+    def __init__(self, env: Environment, interval: float = 1.0,
+                 retention: Optional[float] = None, wheel=None):
         if interval <= 0:
             raise ValueError("scrape interval must be > 0")
         self.env = env
         self.interval = interval
         self.database = TimeSeriesDatabase()
+        #: Trailing ring-buffer bound applied to every series (None keeps
+        #: full history, the seed behavior).
+        self.retention = retention
         self._targets: Dict[str, ScrapeTarget] = {}
+        self._listeners: List[Callable[[float], None]] = []
         self.scrape_count = 0
-        self._process = env.process(self._run())
+        #: Accumulated host wall clock spent inside scrape_once, seconds.
+        self.scrape_wall = 0.0
+        self._process = None
+        self._subscription = None
+        if wheel is not None:
+            self._subscription = wheel.every(
+                wheel.ticks_for(interval), self.scrape_once
+            )
+            self._wheel = wheel
+        else:
+            self._wheel = None
+            self._process = env.process(self._run())
 
     def add_target(self, name: str, registry: MetricsRegistry,
                    **instance_labels: str) -> ScrapeTarget:
@@ -49,25 +84,41 @@ class Scraper:
     def remove_target(self, name: str) -> None:
         self._targets.pop(name, None)
 
+    def add_listener(self, listener: Callable[[float], None]) -> None:
+        """Call ``listener(now)`` synchronously after every scrape."""
+        self._listeners.append(listener)
+
     def scrape_once(self) -> None:
         """Collect one sample from every target at the current time."""
+        start = _time.perf_counter()
         now = self.env.now
+        database = self.database
+        retention = self.retention
         for target in self._targets.values():
-            snapshot = target.registry.collect()
-            base_labels = tuple(
-                f"{k}={v}" for k, v in sorted(
-                    {**target.instance_labels, "instance": target.name}.items()
-                )
-            )
-            for metric_name, children in snapshot.items():
-                for labelvalues, value in children.items():
-                    labels = tuple(sorted(base_labels + labelvalues))
-                    self.database.series(metric_name, labels).append(now, value)
+            cache = target._series_cache
+            base_labels = target.base_labels
+            for family in target.registry.families():
+                for sample_name, _labels, label_key, value \
+                        in family.collect_rows():
+                    key = (sample_name, label_key)
+                    series = cache.get(key)
+                    if series is None:
+                        labels = tuple(sorted(base_labels + label_key))
+                        series = database.series(sample_name, labels,
+                                                 retention=retention)
+                        cache[key] = series
+                    series.append(now, value)
         self.scrape_count += 1
+        self.scrape_wall += _time.perf_counter() - start
+        for listener in self._listeners:
+            listener(now)
 
     def stop(self) -> None:
-        if self._process.is_alive:
+        if self._process is not None and self._process.is_alive:
             self._process.interrupt("scraper stopped")
+        if self._subscription is not None and self._wheel is not None:
+            self._wheel.cancel(self._subscription)
+            self._subscription = None
 
     def _run(self):
         try:

@@ -8,11 +8,23 @@ from typing import Dict, List, Optional, Tuple
 
 
 class TimeSeries:
-    """Timestamped samples of one metric/label-set combination."""
+    """Timestamped samples of one metric/label-set combination.
 
-    def __init__(self, name: str, labels: Tuple[str, ...] = ()):
+    With ``retention`` set the series behaves as a ring buffer: on append,
+    samples older than ``newest - retention`` are discarded (in amortized
+    O(1) chunks), bounding memory at fleet scale.  Retention must be at
+    least as long as the widest query window issued against the series.
+    """
+
+    __slots__ = ("name", "labels", "label_set", "retention",
+                 "_times", "_values")
+
+    def __init__(self, name: str, labels: Tuple[str, ...] = (),
+                 retention: Optional[float] = None):
         self.name = name
         self.labels = labels
+        self.label_set = frozenset(labels)
+        self.retention = retention
         self._times: List[float] = []
         self._values: List[float] = []
 
@@ -21,12 +33,21 @@ class TimeSeries:
 
     def append(self, time: float, value: float) -> None:
         """Append a sample; timestamps must be non-decreasing."""
-        if self._times and time < self._times[-1]:
+        times = self._times
+        if times and time < times[-1]:
             raise ValueError(
-                f"non-monotonic sample at {time} (last {self._times[-1]})"
+                f"non-monotonic sample at {time} (last {times[-1]})"
             )
-        self._times.append(time)
+        times.append(time)
         self._values.append(value)
+        if self.retention is not None:
+            cutoff = time - self.retention
+            if times[0] < cutoff:
+                lo = bisect.bisect_left(times, cutoff)
+                # Trim in chunks so the front-of-list delete amortizes.
+                if lo >= 64 or lo * 2 >= len(times):
+                    del times[:lo]
+                    del self._values[:lo]
 
     def latest(self) -> Optional[float]:
         """Most recent sample value, or None if empty."""
@@ -40,6 +61,19 @@ class TimeSeries:
         lo = bisect.bisect_left(self._times, start)
         hi = bisect.bisect_right(self._times, end)
         return list(zip(self._times[lo:hi], self._values[lo:hi]))
+
+    def first_time_in(self, start: float, end: float) -> Optional[float]:
+        """Timestamp of the earliest sample in ``[start, end]``, if any.
+
+        Lets callers caching window queries (rate/avg) compute the exact
+        instant their cached value expires: the result changes only when a
+        new sample lands or when this first sample falls out of a trailing
+        window, i.e. strictly after ``first_time_in(...) + window``.
+        """
+        lo = bisect.bisect_left(self._times, start)
+        if lo >= len(self._times) or self._times[lo] > end:
+            return None
+        return self._times[lo]
 
     def rate(self, window: float, now: Optional[float] = None) -> float:
         """Per-second increase over the trailing ``window`` (counter rate).
@@ -76,18 +110,34 @@ class TimeSeries:
 
 
 class TimeSeriesDatabase:
-    """All series scraped from all targets, keyed by (metric, labels)."""
+    """All series scraped from all targets, keyed by (metric, labels).
+
+    Series are additionally indexed by metric name and by every
+    ``(metric name, "label=value")`` pair, so :meth:`select` and
+    :meth:`select_matching` are independent of the total series count —
+    at fleet scale the Metrics Gatherer's per-device queries would
+    otherwise scan every series of every board on every allocation.
+    Both indices preserve series insertion order, so callers relying on
+    "first matching series" semantics see exactly what a full scan
+    returned.
+    """
 
     def __init__(self) -> None:
         self._series: Dict[Tuple[str, Tuple[str, ...]], TimeSeries] = {}
+        self._by_name: Dict[str, List[TimeSeries]] = {}
+        self._by_label: Dict[Tuple[str, str], List[TimeSeries]] = {}
 
-    def series(self, name: str, labels: Tuple[str, ...] = ()) -> TimeSeries:
+    def series(self, name: str, labels: Tuple[str, ...] = (),
+               retention: Optional[float] = None) -> TimeSeries:
         """Get (creating if needed) a series."""
         key = (name, tuple(labels))
         found = self._series.get(key)
         if found is None:
-            found = TimeSeries(name, tuple(labels))
+            found = TimeSeries(name, key[1], retention=retention)
             self._series[key] = found
+            self._by_name.setdefault(name, []).append(found)
+            for label in found.label_set:
+                self._by_label.setdefault((name, label), []).append(found)
         return found
 
     def lookup(self, name: str, labels: Tuple[str, ...] = ()) -> Optional[TimeSeries]:
@@ -96,15 +146,22 @@ class TimeSeriesDatabase:
 
     def select(self, name: str) -> List[TimeSeries]:
         """All series of a metric name regardless of labels."""
-        return [s for (n, _), s in self._series.items() if n == name]
+        return list(self._by_name.get(name, ()))
 
     def select_matching(self, name: str, **label_filters: str) -> List[TimeSeries]:
         """Series of ``name`` whose labels contain all given ``key=value``."""
-        wanted = {f"{k}={v}" for k, v in label_filters.items()}
+        if not label_filters:
+            return self.select(name)
+        wanted = [f"{k}={v}" for k, v in label_filters.items()]
+        candidates = self._by_label.get((name, wanted[0]))
+        if not candidates:
+            return []
+        rest = wanted[1:]
+        if not rest:
+            return list(candidates)
         return [
-            series
-            for (n, labels), series in self._series.items()
-            if n == name and wanted.issubset(set(labels))
+            series for series in candidates
+            if all(label in series.label_set for label in rest)
         ]
 
     def __len__(self) -> int:

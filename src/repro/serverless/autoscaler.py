@@ -107,7 +107,7 @@ class FunctionAutoscaler:
             labels={"runtime": function.spec.runtime, "autoscaled": "true"},
         )
         pod = yield from self.cluster.create_pod(spec)
-        function.pod_names.append(pod.name)
+        function.add_pod(pod.name)
         self.scale_ups += 1
 
     def _scale_down(self, function: DeployedFunction) -> None:

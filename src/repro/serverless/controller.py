@@ -59,8 +59,7 @@ class FunctionController:
                 )
         elif event.type is WatchEventType.DELETED:
             self.instances.pop(pod.name, None)
-            if pod.name in function.pod_names:
-                function.pod_names.remove(pod.name)
+            function.remove_pod(pod.name)
             if self.self_heal:
                 self.env.process(self._heal(function))
 
@@ -93,7 +92,7 @@ class FunctionController:
                 except Exception:  # noqa: BLE001 - no capacity left
                     self.heal_failures += 1
                     return
-                function.pod_names.append(pod.name)
+                function.add_pod(pod.name)
                 self.heals += 1
         finally:
             self._healing[name] -= missing
@@ -137,7 +136,7 @@ class FunctionController:
                     instance_name},
         )
         pod = yield from self.cluster.create_pod(spec)
-        function.pod_names.append(pod.name)
+        function.add_pod(pod.name)
         new_instance = self.instances.get(pod.name)
         if new_instance is not None:
             yield new_instance.ready

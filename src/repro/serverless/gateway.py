@@ -104,6 +104,9 @@ class DeployedFunction:
         self.request_queue: Store = Store(env)
         self.instance_counter = count(1)
         self.pod_names: List[str] = []
+        #: Mirror of pod_names for O(1) membership on the watch/dispatch
+        #: paths (every cluster watch event checks ownership).
+        self._pod_name_set: set = set()
         self.invocations = 0
         self.failures = 0
         self.retries = 0
@@ -113,6 +116,23 @@ class DeployedFunction:
 
     def next_instance_name(self) -> str:
         return f"{self.spec.name}-i{next(self.instance_counter)}"
+
+    # -- pod bookkeeping (keep list + set in lockstep) ---------------------
+    def add_pod(self, name: str) -> None:
+        if name not in self._pod_name_set:
+            self.pod_names.append(name)
+            self._pod_name_set.add(name)
+
+    def remove_pod(self, name: str) -> None:
+        if name in self._pod_name_set:
+            self._pod_name_set.discard(name)
+            self.pod_names.remove(name)
+        elif name in self.pod_names:
+            # Name was appended to the list directly (legacy callers).
+            self.pod_names.remove(name)
+
+    def has_pod(self, name: str) -> bool:
+        return name in self._pod_name_set
 
 
 class Gateway:
@@ -148,7 +168,7 @@ class Gateway:
                 labels={"runtime": spec.runtime},
             )
             pod = yield from self.cluster.create_pod(pod_spec)
-            function.pod_names.append(pod.name)
+            function.add_pod(pod.name)
         return function
 
     def function(self, name: str) -> DeployedFunction:

@@ -23,6 +23,7 @@ from .events import (
     Timeout,
 )
 from .watchdog import WatchdogError, pending_summary, run_guarded
+from .wheel import TimerWheel, WheelSubscription
 from .resources import (
     Container,
     FilterStore,
@@ -55,7 +56,9 @@ __all__ = [
     "SimError",
     "Store",
     "Timeout",
+    "TimerWheel",
     "WatchdogError",
+    "WheelSubscription",
     "pending_summary",
     "run_guarded",
 ]

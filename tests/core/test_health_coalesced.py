@@ -1,0 +1,87 @@
+"""Coalesced heartbeats: same detection semantics, O(1) periodic events.
+
+``HealthPolicy(coalesce=True)`` moves lease renewal from one process (and
+one network message) per board onto a shared :class:`~repro.sim.TimerWheel`
+tick.  These tests pin the two halves of that trade: failure/recovery
+detection must behave exactly like the per-board protocol, and the DES
+event volume must stop growing with the number of watched boards.
+"""
+
+from repro.cluster import build_testbed
+from repro.core.registry import AcceleratorsRegistry
+from repro.faults import FaultScript, HealthPolicy
+from repro.sim import Environment, TimerWheel
+
+
+def make_rig(coalesce: bool):
+    env = Environment()
+    testbed = build_testbed(env, functional=False)
+    registry = AcceleratorsRegistry(
+        env, testbed.cluster, list(testbed.managers.values())
+    )
+    policy = HealthPolicy(heartbeat_interval=0.1, lease_timeout=0.4,
+                          coalesce=coalesce)
+    wheel = TimerWheel(env, tick=0.1) if coalesce else None
+    health = registry.enable_health(
+        network=testbed.network, policy=policy, wheel=wheel
+    )
+    return env, testbed, registry, health
+
+
+class TestDetectionParity:
+    def test_crash_detected_and_recovery_observed(self):
+        env, testbed, registry, health = make_rig(coalesce=True)
+        victim = testbed.managers["dm-B"]
+        script = FaultScript(env)
+        script.crash_manager(victim, at=1.0, restart_after=1.0)
+        script.arm()
+
+        env.run(until=1.9)
+        assert health.failures_detected
+        assert health.failures_detected[0][1] == "dm-B"
+        assert not registry.devices.get("dm-B").alive
+        assert all(v.name != "dm-B" for v in registry.device_views())
+        assert registry.device_failures == 1
+
+        env.run(until=3.0)
+        assert health.recoveries_detected
+        assert registry.devices.get("dm-B").alive
+        assert any(v.name == "dm-B" for v in registry.device_views())
+        health.stop()
+
+    def test_healthy_managers_keep_their_leases(self):
+        env, _testbed, registry, health = make_rig(coalesce=True)
+        env.run(until=3.0)
+        assert health.failures_detected == []
+        assert all(r.alive for r in registry.devices.all())
+        health.stop()
+
+    def test_detection_time_matches_per_board_mode(self):
+        """Crash at t=1.0 must expire the lease at the same simulated
+        time (within one heartbeat interval) in both modes."""
+        detected = {}
+        for coalesce in (False, True):
+            env, testbed, _registry, health = make_rig(coalesce)
+            script = FaultScript(env)
+            script.crash_manager(testbed.managers["dm-B"], at=1.0,
+                                 restart_after=10.0)
+            script.arm()
+            env.run(until=3.0)
+            assert health.failures_detected
+            detected[coalesce] = health.failures_detected[0][0]
+            health.stop()
+        assert abs(detected[True] - detected[False]) <= 0.1
+
+
+class TestEventVolume:
+    def test_coalesced_mode_schedules_fewer_events(self):
+        """Per-board mode pays O(boards) events per heartbeat interval
+        (timeout + network delivery each); coalesced pays O(1)."""
+        walls = {}
+        for coalesce in (False, True):
+            env, _testbed, _registry, health = make_rig(coalesce)
+            start = env._eid
+            env.run(until=10.0)
+            walls[coalesce] = env._eid - start
+            health.stop()
+        assert walls[True] < walls[False] / 2
