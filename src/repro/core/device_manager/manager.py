@@ -30,6 +30,7 @@ from ...fpga.ddr import DeviceBuffer, OutOfMemoryError, materialize
 from ...metrics import MetricsRegistry
 from ...ocl.errors import (
     CL_BUILD_PROGRAM_FAILURE,
+    CL_DEVICE_MIGRATING,
     CL_DEVICE_NOT_AVAILABLE,
     CL_INVALID_BINARY,
     CL_INVALID_BUFFER_SIZE,
@@ -74,6 +75,23 @@ class ClientSession:
         kernel_id = self._next_kernel_id
         self._next_kernel_id += 1
         return kernel_id
+
+
+class _ParkedTask:
+    """A worker's task held at an operation boundary during a drain.
+
+    The migration plane may *steal* the unexecuted suffix of the task
+    (``operations[index:]``) while the worker sleeps; the worker then
+    skips the remainder on resume — those operations finish on the
+    migration target instead.
+    """
+
+    __slots__ = ("task", "index", "stolen")
+
+    def __init__(self, task: Task, index: int):
+        self.task = task
+        self.index = index
+        self.stolen = False
 
 
 class DeviceManagerError(RuntimeError):
@@ -168,6 +186,28 @@ class DeviceManager:
         #: instead of re-executing — what makes client retries idempotent.
         self._replies: "OrderedDict[tuple, tuple]" = OrderedDict()
 
+        # -- live-migration drain state (see docs/live_migration.md) --------
+        #: True while the drain protocol holds the workers at an operation
+        #: boundary.  While set, submits divert to ``_drain_backlog`` (the
+        #: scheduler stays frozen), workers park between operations, and
+        #: unary calls from ``migrating_clients`` are rejected with
+        #: ``CL_DEVICE_MIGRATING`` for idempotent replay after the rebind.
+        self.migrating = False
+        #: Clients currently being checkpointed off this board.
+        self.migrating_clients: set = set()
+        #: Old transports of sessions already captured, kept so racing
+        #: unary calls can still be answered with ``CL_DEVICE_MIGRATING``.
+        self._migrating_transports: Dict[str, Transport] = {}
+        self._drain_resume: Optional[Event] = None
+        self._drain_backlog: list[Task] = []
+        self._parked: list[_ParkedTask] = []
+        self._busy_workers = 0
+        self._drain_started = 0.0
+        #: Cumulative drain / board-reprogramming seconds (also exported
+        #: as gauges for the scraper and the chaos downtime ledger).
+        self.drain_seconds = 0.0
+        self.reconfiguration_seconds = 0.0
+
         self.metrics = MetricsRegistry(namespace="dm")
         self._m_busy = self.metrics.counter(
             "busy_seconds_total",
@@ -194,6 +234,15 @@ class DeviceManager:
         self._m_reconfigurations = self.metrics.counter(
             "reconfigurations_total", "Board reconfigurations performed"
         )
+        self._m_drain_seconds = self.metrics.gauge(
+            "board_drain_seconds",
+            "Cumulative seconds workers spent quiesced for live migration",
+        )
+        self._m_reconf_seconds = self.metrics.gauge(
+            "board_reconfiguration_seconds",
+            "Cumulative seconds the board spent being reprogrammed",
+        )
+        board.add_busy_listener(self._on_board_activity)
 
         self._serve_proc = env.process(self._serve())
         # One worker per PR slot (space-sharing boards execute one task per
@@ -219,6 +268,77 @@ class DeviceManager:
             if process.is_alive:
                 process.interrupt("device manager stopped")
 
+    def _on_board_activity(self, seconds: float, activity: str) -> None:
+        """Board busy listener: account reconfiguration downtime."""
+        if activity == "reconfigure":
+            self.reconfiguration_seconds += seconds
+            self._m_reconf_seconds.set(self.reconfiguration_seconds)
+
+    # ------------------------------------------------------------------ drain
+    #: Poll period while waiting for workers to reach an op boundary.  The
+    #: poll (rather than event choreography) also closes the race where a
+    #: scheduler get has already triggered but its worker has not resumed:
+    #: that wakeup is scheduled before the first poll tick fires.
+    DRAIN_POLL = 50e-6
+
+    def drain(self):
+        """Process: quiesce every worker at its next operation boundary.
+
+        While draining, submits divert to ``_drain_backlog`` (the central
+        queue stays frozen), workers park between operations — long tasks
+        are preempted at op boundaries rather than run to completion — and
+        the board goes quiet.  Returns once no worker is executing.
+        Callers must pair this with :meth:`resume`.
+        """
+        if not self.migrating:
+            self.migrating = True
+            self._drain_resume = Event(self.env)
+            self._drain_started = self.env.now
+        while True:
+            yield self.env.timeout(self.DRAIN_POLL)
+            if self._busy_workers == 0:
+                return
+
+    def resume(self) -> None:
+        """End a drain: requeue diverted submits and wake the workers."""
+        if not self.migrating:
+            return
+        self.migrating = False
+        self.migrating_clients.clear()
+        self._migrating_transports.clear()
+        self.drain_seconds += self.env.now - self._drain_started
+        self._m_drain_seconds.set(self.drain_seconds)
+        backlog, self._drain_backlog = self._drain_backlog, []
+        for task in backlog:
+            self.scheduler.push(task, self._estimate_task(task))
+        self._m_queue_depth.set(len(self.scheduler))
+        resume_event, self._drain_resume = self._drain_resume, None
+        if resume_event is not None and not resume_event.triggered:
+            resume_event.succeed()
+
+    def steal_parked_ops(self, client: str) -> list:
+        """Take the unexecuted operations parked workers hold for ``client``.
+
+        Checkpoint capture for a task preempted mid-flight: the executed
+        prefix stays accounted on the source, the suffix migrates.
+        """
+        stolen: list = []
+        for parked in self._parked:
+            if parked.task.client == client and not parked.stolen:
+                stolen.extend(parked.task.operations[parked.index:])
+                parked.stolen = True
+        return stolen
+
+    def take_client_tasks(self, client: str) -> list:
+        """Pull every queued (and drain-diverted) task of ``client``."""
+        tasks = list(self.scheduler.take_client(client))
+        if self._drain_backlog:
+            tasks += [t for t in self._drain_backlog if t.client == client]
+            self._drain_backlog = [t for t in self._drain_backlog
+                                   if t.client != client]
+        self._m_queue_depth.set(len(self.scheduler))
+        return tasks
+
     @property
     def healthy(self) -> bool:
         return self.alive
@@ -242,6 +362,14 @@ class DeviceManager:
         self.accumulator = TaskAccumulator()
         self.scheduler.clear()
         self._m_queue_depth.set(0)
+        # An in-progress drain dies with the process.
+        self.migrating = False
+        self.migrating_clients.clear()
+        self._migrating_transports.clear()
+        self._drain_backlog.clear()
+        self._parked.clear()
+        self._busy_workers = 0
+        self._drain_resume = None
         # A dead server's socket drops whatever was in flight to it.
         self.endpoint.inbox.items.clear()
 
@@ -291,6 +419,26 @@ class DeviceManager:
                         # replay the reply, never re-execute.
                         self.env.process(self._replay_reply(message, cached))
                         continue
+                if (self.migrating and message.reply_to is not None
+                        and message.sender in self.migrating_clients):
+                    # Racing submit from a client being checkpointed off
+                    # this board: reject it; the connection replays the
+                    # call against the rebound endpoint once the stream
+                    # resumes (unary replies are idempotent either way).
+                    transport = (reply_transport
+                                 or self._migrating_transports.get(
+                                     message.sender))
+                    if transport is None:
+                        self.rejected_messages += 1
+                        continue
+                    yield from reply_error(
+                        transport, message,
+                        DeviceManagerError(
+                            f"client {message.sender!r} is live-migrating",
+                            CL_DEVICE_MIGRATING,
+                        ),
+                    )
+                    continue
                 handler = self._handlers().get(message.method)
                 if handler is None:
                     if message.reply_to is not None:
@@ -447,6 +595,14 @@ class DeviceManager:
     def _on_build_program(self, message: Message):
         """Reconfiguration: the one blocking context method (Section III-B)."""
         session = self._require_session(message)
+        if self.migrating:
+            # A reconfiguration cannot start while the board drains for a
+            # live migration: defer it off the dispatcher (other clients
+            # keep being served) and re-run it once the drain lifts.
+            self.env.process(
+                self._deferred_build(message, self._drain_resume)
+            )
+            return
         binary = message.payload["binary"]
         try:
             bitstream = self.library.get(binary)
@@ -487,6 +643,27 @@ class DeviceManager:
         yield from self.board.program(bitstream)
         self._m_reconfigurations.inc()
         yield from reply(session.transport, message, {"binary": binary})
+
+    def _deferred_build(self, message: Message, resume_event):
+        """Process: run a BUILD_PROGRAM that arrived during a drain."""
+        if resume_event is not None:
+            yield resume_event
+        try:
+            yield from self._on_build_program(message)
+        except (DeviceManagerError, BoardError) as exc:
+            if message.reply_to is None or message.reply_to.triggered:
+                self.rejected_messages += 1
+                return
+            session = self._session_of(message)
+            transport = (session.transport if session is not None
+                         else message.payload.get("transport"))
+            if transport is None:
+                self.rejected_messages += 1
+                return
+            yield from reply_error(
+                transport, message,
+                RpcError(str(exc), code=_error_code(exc)),
+            )
 
     def _on_create_kernel(self, message: Message):
         session = self._require_session(message)
@@ -575,6 +752,12 @@ class DeviceManager:
         if task is None or task.empty:
             return
         task.submitted_at = self.env.now
+        if self.migrating:
+            # Drain in progress: hold new work out of the scheduler so the
+            # board actually quiesces (and so a pending worker pop cannot
+            # grab a task mid-drain).  Requeued by resume().
+            self._drain_backlog.append(task)
+            return
         self.scheduler.push(task, self._estimate_task(task))
         self._m_queue_depth.set(len(self.scheduler))
 
@@ -614,10 +797,31 @@ class DeviceManager:
         """Pull tasks from the central queue, execute them FIFO on the FPGA."""
         try:
             while True:
+                if self.migrating:
+                    # Drained: start no new task until the migration plane
+                    # resumes this manager.
+                    yield self._drain_resume
+                    continue
                 task: Task = yield self.scheduler.pop()
                 self._m_queue_depth.set(len(self.scheduler))
+                self._busy_workers += 1
                 task.started_at = self.env.now
+                stolen = False
                 for index, operation in enumerate(task.operations):
+                    if self.migrating:
+                        # Preemption point: park at the operation boundary
+                        # so a long task cannot pin the board through a
+                        # drain.  The migration plane may steal the
+                        # remaining operations while we sleep.
+                        parked = _ParkedTask(task, index)
+                        self._parked.append(parked)
+                        self._busy_workers -= 1
+                        yield self._drain_resume
+                        self._parked.remove(parked)
+                        self._busy_workers += 1
+                        if parked.stolen:
+                            stolen = True
+                            break
                     ok = yield from self._run_operation(operation)
                     if not ok:
                         # Tasks are atomic: once an operation fails, the
@@ -625,6 +829,9 @@ class DeviceManager:
                         # abort the rest and notify each waiter.
                         self._abort_remaining(task.operations[index + 1:])
                         break
+                self._busy_workers -= 1
+                if stolen:
+                    continue  # the rest of the task migrated away
                 task.finished_at = self.env.now
                 self._m_tasks.inc()
                 if task.submitted_at is not None:

@@ -20,8 +20,9 @@ board uses, so SJF/WFQ are realizable policies, not oracles.
 from __future__ import annotations
 
 import abc
+import heapq
 from itertools import count
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ...sim import Environment, PriorityItem, PriorityStore, Store
 from .tasks import Task
@@ -57,6 +58,34 @@ class TaskScheduler(abc.ABC):
         """
         self._queue.items.clear()
 
+    def take_client(self, client: str) -> List[Task]:
+        """Remove and return every queued task owned by ``client``.
+
+        Tasks come back in the order this policy would have served them;
+        the live-migration drain uses this to checkpoint a client's
+        backlog without disturbing other tenants' queue positions.
+        """
+        items = self._queue.items
+        taken = [entry for entry in items
+                 if self._entry_task(entry).client == client]
+        if taken:
+            items[:] = [entry for entry in items
+                        if self._entry_task(entry).client != client]
+            self._restore_invariant()
+        return [self._entry_task(entry)
+                for entry in self._order_entries(taken)]
+
+    def _entry_task(self, entry) -> Task:
+        """The task held by one backlog entry (FIFO stores tasks bare)."""
+        return entry
+
+    def _order_entries(self, entries: list) -> list:
+        """Service order of a set of entries (FIFO: arrival order)."""
+        return entries
+
+    def _restore_invariant(self) -> None:
+        """Repair queue internals after entries were removed in place."""
+
 
 class FIFOScheduler(TaskScheduler):
     """The paper's policy: strict arrival order."""
@@ -77,7 +106,25 @@ class FIFOScheduler(TaskScheduler):
         return len(self._queue.items)
 
 
-class PriorityScheduler(TaskScheduler):
+class _HeapBacklogMixin:
+    """Shared ``take_client`` plumbing for PriorityStore-backed policies.
+
+    The backlog is a heap of :class:`PriorityItem`; removing arbitrary
+    entries invalidates the heap, so the mixin re-heapifies and returns
+    the taken entries in priority (service) order.
+    """
+
+    def _entry_task(self, entry) -> Task:
+        return entry.item
+
+    def _order_entries(self, entries: list) -> list:
+        return sorted(entries)
+
+    def _restore_invariant(self) -> None:
+        heapq.heapify(self._queue.items)
+
+
+class PriorityScheduler(_HeapBacklogMixin, TaskScheduler):
     """Strict priority classes per client (lower value = served first)."""
 
     name = "priority"
@@ -107,7 +154,7 @@ class PriorityScheduler(TaskScheduler):
         return len(self._queue.items)
 
 
-class SJFScheduler(TaskScheduler):
+class SJFScheduler(_HeapBacklogMixin, TaskScheduler):
     """Non-preemptive shortest-estimated-job-first."""
 
     name = "sjf"
@@ -126,7 +173,7 @@ class SJFScheduler(TaskScheduler):
         return len(self._queue.items)
 
 
-class WFQScheduler(TaskScheduler):
+class WFQScheduler(_HeapBacklogMixin, TaskScheduler):
     """Weighted fair queueing (start-time fair queuing approximation).
 
     Each client accrues virtual time proportional to consumed device time

@@ -32,7 +32,7 @@ from ...cluster.objects import (
     WatchEvent,
     WatchEventType,
 )
-from ...metrics import Scraper
+from ...metrics import MetricsRegistry, Scraper
 from ...sim import Environment
 from ..device_manager.manager import DeviceManager
 from .allocation import (
@@ -58,6 +58,11 @@ Migrator = Callable[[str, str], object]
 #: decisions on every allocation (slow, for debugging).
 ALLOCATOR_ENV = "REPRO_ALLOCATOR"
 
+#: Override the reconfiguration-migration mode ("restart" | "live") without
+#: touching call sites.  "restart" is the paper's create-before-delete path;
+#: "live" checkpoints in-flight state and moves it (docs/live_migration.md).
+MIGRATION_ENV = "REPRO_MIGRATION"
+
 
 class AcceleratorsRegistry:
     """Central controller wiring cluster, devices, functions and metrics."""
@@ -73,6 +78,7 @@ class AcceleratorsRegistry:
         metrics_window: float = 10.0,
         use_shm: bool = True,
         allocator: str = "indexed",
+        migration: str = "restart",
     ):
         self.env = env
         self.cluster = cluster
@@ -88,8 +94,12 @@ class AcceleratorsRegistry:
         self.use_shm = use_shm
         #: Set by the serverless layer to perform create-before-delete moves.
         self.migrator: Optional[Migrator] = None
+        #: Set by the migration plane (:class:`repro.live.LiveMigrator`) to
+        #: perform checkpoint/restore moves; only consulted in "live" mode.
+        self.live_migrator = None
         self.allocations = 0
         self.migrations = 0
+        self.live_migrations = 0
         self.device_failures = 0
         #: Host wall clock accumulated inside Algorithm 1, seconds
         #: (allocation latency = alloc_wall / allocations).
@@ -101,6 +111,24 @@ class AcceleratorsRegistry:
         if allocator not in ("indexed", "oracle", "both"):
             raise ValueError(f"unknown allocator {allocator!r}")
         self.allocator = allocator
+
+        migration = os.environ.get(MIGRATION_ENV, "") or migration
+        if migration not in ("restart", "live"):
+            raise ValueError(f"unknown migration mode {migration!r}")
+        self.migration_mode = migration
+
+        #: Registry-side metrics, scraped alongside the Device Managers'.
+        self.metrics = MetricsRegistry(namespace="registry")
+        self._m_migrations = self.metrics.counter(
+            "migrations_total",
+            "Instances moved off a device (restart or live migration)",
+        )
+        self._m_live_migrations = self.metrics.counter(
+            "live_migrations_total",
+            "Instances moved with checkpoint/restore (zero downtime)",
+        )
+        if scraper is not None:
+            scraper.add_target("registry", self.metrics)
         #: Incremental Algorithm 1 index; None in pure-oracle mode.
         self.index: Optional[DeviceIndex] = (
             DeviceIndex(self.metrics_order, self.metrics_filters)
@@ -286,24 +314,64 @@ class AcceleratorsRegistry:
         if decision.needs_reconfiguration:
             record.pending_bitstream = query.accelerator
             if decision.redistribution:
-                self._migrate(decision.redistribution)
+                self._migrate(record, decision.redistribution)
         self._index_refresh(record)
 
-    def _migrate(self, moves: List) -> None:
-        """Kick off create-before-delete migrations of displaced instances."""
-        for instance_name, _target in moves:
+    def _migrate(self, source: DeviceRecord, moves: List) -> None:
+        """Kick off migrations of displaced instances.
+
+        In "restart" mode (the paper's path) each instance is re-created
+        through the serverless migrator (create-before-delete).  In "live"
+        mode with a migration plane attached, the whole batch is handed to
+        the :class:`~repro.live.LiveMigrator`, which drains the source
+        device once and checkpoints/restores every victim; the migrator
+        calls back into :meth:`complete_live_migration` per instance (and
+        falls back to the restart path for unmovable ones).
+        """
+        live = [
+            (instance_name, target) for instance_name, target in moves
+            if self.functions.instance(instance_name) is not None
+        ]
+        if not live:
+            return
+        if self.migration_mode == "live" and self.live_migrator is not None:
+            self.env.process(self.live_migrator.migrate(source.name, live))
+            return
+        for instance_name, _target in live:
             instance = self.functions.instance(instance_name)
             if instance is None:
                 continue
             self.migrations += 1
-            if self.migrator is not None:
-                self.env.process(
-                    self.migrator(instance_name, instance.function)
-                )
-            else:
-                # No serverless controller attached: plain delete; the
-                # deployment layer (if any) recreates.
-                self.cluster.delete_pod(instance_name)
+            self._m_migrations.inc()
+            # _evacuate guards the migrator: a move whose replacement fails
+            # to start (e.g. its target got reprogrammed meanwhile) degrades
+            # to a plain delete instead of crashing the Registry.
+            self.env.process(
+                self._evacuate(instance_name, instance.function)
+            )
+
+    def complete_live_migration(self, instance_name: str,
+                                source_name: str, target_name: str) -> None:
+        """Bookkeeping after the migration plane moved an instance.
+
+        The pod never restarted — only its accelerator side moved — so the
+        cluster object survives; its Device Manager env var is patched to
+        the new address and the Registry's indexes are re-pointed.
+        """
+        source = self.devices.get(source_name)
+        target = self.devices.get(target_name)
+        source.instances.discard(instance_name)
+        target.instances.add(instance_name)
+        self.functions.move_instance(instance_name, target_name)
+        if instance_name in self.cluster.pods:
+            self.cluster.patch_pod(instance_name,
+                                   **{MANAGER_ENV: target_name})
+        self.migrations += 1
+        self.live_migrations += 1
+        self._m_migrations.inc()
+        self._m_live_migrations.inc()
+        self._index_refresh(source)
+        self._index_refresh(target)
 
     # -- failure detection and recovery ---------------------------------------
     def enable_health(self, network=None, policy=None, wheel=None):
@@ -352,6 +420,7 @@ class AcceleratorsRegistry:
             if instance is None:
                 continue
             self.migrations += 1
+            self._m_migrations.inc()
             self.env.process(
                 self._evacuate(instance_name, instance.function)
             )

@@ -179,6 +179,25 @@ class FunctionsService:
                 on_device.pop(instance_name, None)
         return instance
 
+    def move_instance(self, instance_name: str,
+                      device: str) -> Optional[InstanceRecord]:
+        """Reassign an instance to another device, keeping indexes in sync.
+
+        Used by live migration: the pod (and its node) stay put, only the
+        accelerator side moves, so this touches the device index alone.
+        """
+        instance = self._by_name.get(instance_name)
+        if instance is None:
+            return None
+        if instance.device:
+            on_device = self._by_device.get(instance.device)
+            if on_device is not None:
+                on_device.pop(instance_name, None)
+        instance.device = device
+        if device:
+            self._by_device.setdefault(device, {})[instance_name] = instance
+        return instance
+
     def instance(self, instance_name: str) -> Optional[InstanceRecord]:
         return self._by_name.get(instance_name)
 

@@ -17,12 +17,13 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ...faults import RetryPolicy
-from ...ocl.errors import CL_DEVICE_NOT_AVAILABLE
+from ...ocl.errors import CL_DEVICE_MIGRATING, CL_DEVICE_NOT_AVAILABLE
 from ...rpc import (
     Message,
     Network,
     NetworkHost,
     RpcEndpoint,
+    RpcError,
     RpcTimeout,
     Transport,
     make_transport,
@@ -71,6 +72,8 @@ class Connection:
         self.recovery = recovery
         self.retries = 0
         self.network = network
+        self.client_host = client_host
+        self._prefer_shm = prefer_shm
         self.manager_endpoint = manager_endpoint
         self.transport: Transport = make_transport(
             env, network, client_host, manager_host, prefer_shm=prefer_shm
@@ -83,6 +86,14 @@ class Connection:
         self._sender_proc = env.process(self._sender())
         self._dispatcher_proc = env.process(self._dispatcher())
         self.connected = False
+        # -- live-migration stream state (see docs/live_migration.md) -------
+        #: While True the sender holds items untransmitted; queued and
+        #: in-hand items flow to the (possibly rebound) endpoint on resume.
+        self._paused = False
+        self._stream_resume: Optional[Event] = None
+        self._sender_busy = False
+        #: Endpoint rebinds performed on this connection (observability).
+        self.rebinds = 0
 
     # -- lifecycle -----------------------------------------------------------
     def connect(self):
@@ -116,6 +127,55 @@ class Connection:
             ))
         self._machines.clear()
 
+    # -- live migration -------------------------------------------------------
+    #: Poll period while waiting for the sender to finish its in-flight item.
+    PAUSE_POLL = 100e-6
+
+    def pause_stream(self):
+        """Process: quiesce the outbound stream at an item boundary.
+
+        Sets the pause flag (the sender parks *before* transmitting its
+        next item, so nothing is torn mid-message) and waits until any
+        item currently on the wire has finished sending.  The paused items
+        stay queued client-side and transmit after :meth:`resume_stream` —
+        against the rebound endpoint if :meth:`rebind` ran in between.
+        """
+        if not self._paused:
+            self._paused = True
+            self._stream_resume = Event(self.env)
+        while True:
+            yield self.env.timeout(self.PAUSE_POLL)
+            if not self._sender_busy:
+                return
+
+    def resume_stream(self) -> None:
+        """Release a paused stream; held items transmit immediately."""
+        self._paused = False
+        event, self._stream_resume = self._stream_resume, None
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    def rebind(self, manager_endpoint: RpcEndpoint,
+               manager_host: NetworkHost,
+               prefer_shm: Optional[bool] = None) -> Transport:
+        """Point this connection at a new Device Manager (live migration).
+
+        Must be called with the stream paused.  Every queued item, every
+        later unary call and every outstanding event machine's traffic
+        flows over a fresh transport to the new endpoint; the dispatcher
+        routes completions by tag, so machines restored server-side
+        resolve on the new manager without the client observing an error.
+        """
+        if prefer_shm is None:
+            prefer_shm = self._prefer_shm
+        self.manager_endpoint = manager_endpoint
+        self.transport = make_transport(
+            self.env, self.network, self.client_host, manager_host,
+            prefer_shm=prefer_shm,
+        )
+        self.rebinds += 1
+        return self.transport
+
     # -- unary (context and information) calls ----------------------------------
     def call(self, method: str, payload: dict):
         """Process: synchronous unary call to the manager.
@@ -123,8 +183,35 @@ class Connection:
         With a recovery policy armed the call carries a gRPC-style
         deadline and is retried with exponential backoff under a stable
         request id, so the manager can dedupe re-executions; an error
-        *reply* is a definitive answer and is never retried.
+        *reply* is a definitive answer and is never retried — except
+        ``CL_DEVICE_MIGRATING``, which means the manager refused to
+        execute at all: the call replays once the migration settles,
+        reaching the rebound endpoint.
         """
+        while True:
+            try:
+                result = yield from self._call_once(method, payload)
+                return result
+            except RpcError as exc:
+                if getattr(exc, "code", None) != CL_DEVICE_MIGRATING:
+                    raise
+                self.retries += 1
+                yield from self._await_migration()
+
+    def _await_migration(self):
+        """Process: wait until this connection's live migration settles."""
+        while True:
+            if self._paused and self._stream_resume is not None:
+                yield self._stream_resume
+            else:
+                # Rejected before the migrator paused this connection:
+                # back off until the pause/resume cycle happens (or the
+                # server stops rejecting us).
+                yield self.env.timeout(10 * self.PAUSE_POLL)
+            if not self._paused:
+                return
+
+    def _call_once(self, method: str, payload: dict):
         policy = self.recovery
         if policy is None:
             result = yield from unary_call(
@@ -239,18 +326,28 @@ class Connection:
                 item: _StreamItem = yield self._outbound.get()
                 if not (yield from self._resolve_gates(item)):
                     continue
-                if item.finalize is not None:
-                    try:
-                        item.message.payload = item.finalize()
-                    except Exception as exc:  # noqa: BLE001
-                        self._fail_machine(item.message.tag, str(exc))
-                        continue
-                if item.data_nbytes > 0:
-                    yield from self.transport.data_to_server(item.data_nbytes)
-                    # Bulk payloads ride the data plane; a slim control
-                    # message still announces them.
-                yield from self.transport.deliver_to_server(
-                    self.manager_endpoint, item.message)
+                while self._paused:
+                    # Live migration: hold the item untransmitted; on
+                    # resume it goes to whatever endpoint/transport the
+                    # connection is bound to by then.
+                    yield self._stream_resume
+                self._sender_busy = True
+                try:
+                    if item.finalize is not None:
+                        try:
+                            item.message.payload = item.finalize()
+                        except Exception as exc:  # noqa: BLE001
+                            self._fail_machine(item.message.tag, str(exc))
+                            continue
+                    if item.data_nbytes > 0:
+                        yield from self.transport.data_to_server(
+                            item.data_nbytes)
+                        # Bulk payloads ride the data plane; a slim control
+                        # message still announces them.
+                    yield from self.transport.deliver_to_server(
+                        self.manager_endpoint, item.message)
+                finally:
+                    self._sender_busy = False
         except Interrupt:
             return
 

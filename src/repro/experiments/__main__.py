@@ -86,6 +86,27 @@ def _chaos():
     return text, [digest]
 
 
+def _migration():
+    import json
+    from pathlib import Path
+
+    from .migration import render_migration, run_migration, write_bench_json
+
+    result = run_migration()
+    write_bench_json(
+        result, Path(__file__).resolve().parents[3] / "BENCH_migration.json"
+    )
+    digest = result.to_golden()
+    rows = [
+        [f"{mode}.{key}", json.dumps(value)]
+        for mode, cell in digest.items() for key, value in cell.items()
+    ]
+    text = render_migration(result) + "\n\n" + render_table(
+        ["Metric", "Value"], rows, title="Migration digest",
+    )
+    return text, [digest]
+
+
 def _scale():
     from pathlib import Path
 
@@ -107,6 +128,7 @@ EXPERIMENTS = {
                   "Fig. 4(b): Sobel operator round-trip time vs image size"),
     "fig4c": _fig(run_mm_sweep,
                   "Fig. 4(c): MM kernel round-trip time vs matrix size"),
+    "migration": _migration,
     "table1": lambda: (run_table1(), []),
     "table2": _table("sobel", render_table2),
     "table3": _table("mm", render_table3),

@@ -95,6 +95,11 @@ class ChaosResult:
     plane_counters: Dict[str, int] = field(default_factory=dict)
     script_log: List[Tuple[float, str]] = field(default_factory=list)
     stats: List[LoadStats] = field(default_factory=list)
+    #: Per-board downtime ledger: seconds each board spent reconfiguring,
+    #: draining for migrations, and dark after a crash.  Reported for the
+    #: operators' post-mortem; deliberately not part of :meth:`to_golden`
+    #: (the golden digest predates the ledger and stays bit-identical).
+    downtime: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def to_golden(self) -> Dict[str, object]:
         """Deterministic digest for golden-file regression testing."""
@@ -291,4 +296,26 @@ def run_chaos(spec: Optional[ChaosSpec] = None) -> ChaosResult:
     )
     result.plane_counters = dict(plane.counters)
     result.script_log = list(script.executed)
+
+    # Downtime ledger: crash blackout from the fault script's own log,
+    # drain/reconfiguration seconds from the managers' gauges.
+    crash_times = {
+        what.split(" ", 1)[1]: when
+        for when, what in script.executed if what.startswith("crash ")
+    }
+    for manager in testbed.managers.values():
+        dark = 0.0
+        started = crash_times.get(manager.name)
+        if started is not None:
+            back = next(
+                (when for when, what in script.executed
+                 if what == f"restart {manager.name}" and when > started),
+                env.now,
+            )
+            dark = back - started
+        result.downtime[manager.name] = {
+            "drain_s": round(manager.drain_seconds, 6),
+            "reconfiguration_s": round(manager.reconfiguration_seconds, 6),
+            "crash_s": round(dark, 6),
+        }
     return result

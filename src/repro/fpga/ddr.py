@@ -220,6 +220,55 @@ class MemoryAllocator:
         self._used += size
         return buffer
 
+    def allocate_at(self, size: int, offset: int,
+                    buffer_id: Optional[int] = None) -> DeviceBuffer:
+        """Allocate ``size`` bytes at an exact ``offset`` (checkpoint restore).
+
+        Restoring a :class:`~repro.live.BoardCheckpoint` onto a fresh board
+        must reproduce the source layout bit-identically, so the restore
+        path places segments explicitly instead of first-fit.  ``buffer_id``
+        pins the id as well; ids at or below it are reserved afterwards so
+        later first-fit allocations can never collide.
+        """
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if offset < 0 or offset + size > self.capacity:
+            raise ValueError(
+                f"segment [{offset}, {offset + size}) outside device "
+                f"memory of {self.capacity} bytes"
+            )
+        index = 0
+        for index, live in enumerate(self._ordered):  # noqa: B007
+            if live.offset + live.size <= offset:
+                index += 1
+                continue
+            if live.offset < offset + size:
+                raise OutOfMemoryError(
+                    f"segment [{offset}, {offset + size}) overlaps live "
+                    f"buffer {live.id} at [{live.offset}, "
+                    f"{live.offset + live.size})"
+                )
+            break
+        if buffer_id is None:
+            buffer_id = self._next_id
+        elif buffer_id in self._buffers:
+            raise ValueError(f"buffer id {buffer_id} already live")
+        buffer = DeviceBuffer(buffer_id, size, offset, self.functional)
+        self._next_id = max(self._next_id, buffer_id) + 1
+        self._buffers[buffer.id] = buffer
+        self._ordered.insert(index, buffer)
+        self._used += size
+        return buffer
+
+    def reserve_ids(self, beyond: int) -> None:
+        """Never hand out ids at or below ``beyond`` from now on.
+
+        After a migration restores a session whose client still refers to
+        source-side buffer ids, the target allocator must not mint those
+        ids again for new allocations.
+        """
+        self._next_id = max(self._next_id, beyond + 1)
+
     def get(self, buffer_id: int) -> DeviceBuffer:
         try:
             return self._buffers[buffer_id]

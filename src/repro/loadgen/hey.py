@@ -41,6 +41,11 @@ class LoadStats:
     completed: int = 0
     errors: int = 0
     latencies: List[float] = field(default_factory=list)
+    #: Time each in-window failed request spent before erroring (timeout,
+    #: shed, instance death).  Kept separate so the success-latency columns
+    #: stay comparable across runs; migration experiments fold these in to
+    #: show the tail clients actually observe during a reconfiguration.
+    error_latencies: List[float] = field(default_factory=list)
 
     @property
     def achieved_rate(self) -> float:
@@ -71,6 +76,7 @@ class LoadStats:
         self.completed += other.completed
         self.errors += other.errors
         self.latencies.extend(other.latencies)
+        self.error_latencies.extend(other.error_latencies)
         self.target_rate += other.target_rate
         return self
 
@@ -128,6 +134,7 @@ def run_load(
             except InvocationError:
                 if in_window:
                     stats.errors += 1
+                    stats.error_latencies.append(env.now - sent_at)
                 continue
             if in_window and env.now <= end:
                 stats.completed += 1

@@ -36,6 +36,11 @@ CL_INVALID_EVENT = -58
 CL_INVALID_BUFFER_SIZE = -61
 CL_INVALID_OPERATION = -59
 
+#: Extension code (beyond cl.h): the device is live-migrating and the
+#: request must be replayed against the rebound endpoint.  Chosen from the
+#: vendor-extension range so it can never collide with a spec value.
+CL_DEVICE_MIGRATING = -1120
+
 _ERROR_NAMES = {
     value: name
     for name, value in list(globals().items())

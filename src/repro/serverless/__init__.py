@@ -1,7 +1,14 @@
 """OpenFaaS-model serverless substrate: gateway, instances, controller and
 the paper's three accelerated cloud functions."""
 
-from .apps import AlexNetApp, FunctionApp, MMApp, SobelApp
+from .apps import (
+    AlexNetApp,
+    FIRApp,
+    FunctionApp,
+    HistogramApp,
+    MMApp,
+    SobelApp,
+)
 from .autoscaler import FunctionAutoscaler, FunctionAutoscalerPolicy
 from .controller import FunctionController
 from .gateway import (
@@ -19,7 +26,9 @@ __all__ = [
     "AlexNetApp",
     "CircuitBreaker",
     "DeployedFunction",
+    "FIRApp",
     "FunctionApp",
+    "HistogramApp",
     "FunctionAutoscaler",
     "FunctionAutoscalerPolicy",
     "FunctionController",

@@ -130,6 +130,100 @@ class MMApp(FunctionApp):
         return {"bytes": len(data) if data else self.nbytes}
 
 
+class FIRApp(FunctionApp):
+    """FIR filter over a float32 sample block (Spector).
+
+    Not part of the paper's evaluation trio; used by experiments that need
+    extra accelerators competing for boards (the reconfiguration storm of
+    the migration experiment).  Coefficients are loaded once at setup, so a
+    request is write block → kernel → blocking read.
+    """
+
+    host_overhead = 1.5e-3
+
+    def __init__(self, n: int = 1 << 20, taps: int = 64,
+                 functional: bool = False, seed: int = 0):
+        self.n = n
+        self.taps = taps
+        self.functional = functional
+        self.seed = seed
+        self.nbytes = n * 4
+        self.signal_data: Optional[bytes] = None
+
+    def setup(self, env, platform, node):
+        self.env = env
+        self.context = Context(platform.get_devices())
+        self.queue = self.context.create_queue()
+        program = self.context.create_program("fir")
+        yield from program.build()
+        self.kernel = program.create_kernel("fir")
+        self.signal_buf = self.context.create_buffer(self.nbytes)
+        self.coeffs_buf = self.context.create_buffer(self.taps * 4)
+        self.out_buf = self.context.create_buffer(self.nbytes)
+        self.kernel.set_args(self.signal_buf, self.coeffs_buf, self.out_buf,
+                             self.n, self.taps)
+        coeffs_data = None
+        if self.functional:
+            rng = np.random.default_rng(self.seed)
+            self.signal_data = rng.standard_normal(self.n).astype(
+                np.float32).tobytes()
+            coeffs_data = (np.hanning(self.taps) / self.taps).astype(
+                np.float32).tobytes()
+        self.queue.enqueue_write_buffer(self.coeffs_buf, coeffs_data,
+                                        nbytes=self.taps * 4)
+        yield from self.queue.finish()
+
+    def handle(self, request):
+        self.queue.enqueue_write_buffer(self.signal_buf, self.signal_data,
+                                        nbytes=self.nbytes)
+        self.queue.enqueue_kernel(self.kernel)
+        data = yield from self.queue.read_buffer(self.out_buf)
+        return {"bytes": len(data) if data else self.nbytes}
+
+
+class HistogramApp(FunctionApp):
+    """Histogram of a uint32 value block (Spector).
+
+    Second storm app of the migration experiment: write values → kernel →
+    blocking read of the (small) bin counters.
+    """
+
+    host_overhead = 1.5e-3
+
+    def __init__(self, n: int = 1 << 20, bins: int = 1024,
+                 functional: bool = False, seed: int = 0):
+        self.n = n
+        self.bins = bins
+        self.functional = functional
+        self.seed = seed
+        self.nbytes = n * 4
+        self.values_data: Optional[bytes] = None
+
+    def setup(self, env, platform, node):
+        self.env = env
+        self.context = Context(platform.get_devices())
+        self.queue = self.context.create_queue()
+        program = self.context.create_program("histogram")
+        yield from program.build()
+        self.kernel = program.create_kernel("hist")
+        self.values_buf = self.context.create_buffer(self.nbytes)
+        self.counts_buf = self.context.create_buffer(self.bins * 4)
+        self.kernel.set_args(self.values_buf, self.counts_buf,
+                             self.n, self.bins)
+        if self.functional:
+            rng = np.random.default_rng(self.seed)
+            self.values_data = rng.integers(
+                0, 1 << 32, size=self.n, dtype=np.uint32
+            ).tobytes()
+
+    def handle(self, request):
+        self.queue.enqueue_write_buffer(self.values_buf, self.values_data,
+                                        nbytes=self.nbytes)
+        self.queue.enqueue_kernel(self.kernel)
+        data = yield from self.queue.read_buffer(self.counts_buf)
+        return {"bins": len(data) // 4 if data else self.bins}
+
+
 class AlexNetApp(FunctionApp):
     """PipeCNN AlexNet inference, layer by layer."""
 

@@ -45,6 +45,8 @@ class FunctionInstance:
         self.platform: Optional[Platform] = None
         self.requests_served = 0
         self._current = None  # request being handled right now
+        #: Exception that killed startup, if any (the instance stays down).
+        self.startup_error: Optional[BaseException] = None
         self.ready = env.event()
         self.process = env.process(self._run())
         pod.process = self.process
@@ -113,12 +115,16 @@ class FunctionInstance:
             self._teardown()
             return
         except Exception as exc:  # noqa: BLE001 - startup failures
+            # Contained: one instance failing to come up (e.g. its board's
+            # reconfiguration was denied) must not crash the control plane.
+            # Waiters observe the failure through the failed ``ready`` event.
             if not self.ready.triggered:
                 self.ready.fail(exc)
                 self.ready.defused = True
+            self.startup_error = exc
             self._fail_inflight()
             self._teardown()
-            raise
+            return
 
     def _fail_inflight(self) -> None:
         """Never strand a caller: fail the request we died holding."""

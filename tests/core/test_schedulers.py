@@ -156,3 +156,55 @@ class TestWFQ:
         order = drain(env, scheduler, 12)
         # Client b must not wait for all of a's backlog.
         assert "b" in order[:4]
+
+
+class TestTakeClient:
+    """take_client underpins live migration: it must pull exactly the
+    victim's backlog, in service order, without corrupting what stays."""
+
+    def test_fifo_preserves_arrival_order(self):
+        env = Environment()
+        scheduler = FIFOScheduler(env)
+        for client, tag in (("a", 1), ("b", 2), ("a", 3), ("c", 4),
+                            ("a", 5)):
+            scheduler.push(make_task(client, tag), estimate=1.0)
+        taken = scheduler.take_client("a")
+        assert [t.operations[0].tag for t in taken] == [1, 3, 5]
+        assert len(scheduler) == 2
+        assert drain(env, scheduler, 2) == ["b", "c"]
+
+    def test_priority_returns_service_order_and_keeps_invariant(self):
+        env = Environment()
+        scheduler = PriorityScheduler(env)
+        scheduler.set_client_priority("victim", 5)
+        scheduler.set_client_priority("hi", 0)
+        scheduler.set_client_priority("lo", 9)
+        for client, tag in (("victim", 1), ("lo", 2), ("victim", 3),
+                            ("hi", 4), ("victim", 5)):
+            scheduler.push(make_task(client, tag), estimate=1.0)
+        taken = scheduler.take_client("victim")
+        # Same client, same priority: ties broken by arrival sequence.
+        assert [t.operations[0].tag for t in taken] == [1, 3, 5]
+        assert all(t.client == "victim" for t in taken)
+        # The survivors still come out by priority.
+        assert drain(env, scheduler, 2) == ["hi", "lo"]
+
+    def test_wfq_take_then_serve(self):
+        env = Environment()
+        scheduler = WFQScheduler(env)
+        scheduler.set_client_weight("victim", 1.0)
+        scheduler.set_client_weight("other", 1.0)
+        for index in range(4):
+            scheduler.push(make_task("victim", 10 + index), estimate=1.0)
+            scheduler.push(make_task("other", 20 + index), estimate=1.0)
+        taken = scheduler.take_client("victim")
+        assert [t.operations[0].tag for t in taken] == [10, 11, 12, 13]
+        assert drain(env, scheduler, 4) == ["other"] * 4
+
+    def test_absent_client_is_empty(self):
+        for factory in (FIFOScheduler, PriorityScheduler, SJFScheduler,
+                        WFQScheduler):
+            scheduler = factory(Environment())
+            scheduler.push(make_task("present"), estimate=1.0)
+            assert scheduler.take_client("absent") == []
+            assert len(scheduler) == 1

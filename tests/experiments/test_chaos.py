@@ -61,6 +61,18 @@ class TestGoldenChaos:
         assert chaos_result.recovery_seconds > 0
         assert chaos_result.migrations >= 1  # victims moved off the board
 
+    def test_downtime_ledger(self, chaos_result):
+        # Per-board downtime is reported for post-mortems, but stays out
+        # of the golden digest (bit-identical to the pre-ledger runs).
+        ledger = chaos_result.downtime
+        assert set(ledger) == {"dm-A", "dm-B", "dm-C"}
+        assert ledger["dm-B"]["crash_s"] > 0
+        for name, cell in ledger.items():
+            if name != "dm-B":
+                assert cell["crash_s"] == 0.0
+            assert cell["reconfiguration_s"] >= 2.5  # the initial program
+        assert "downtime" not in chaos_result.to_golden()
+
     def test_faults_actually_fired(self, chaos_result):
         # The run must have been genuinely hostile, not a fair-weather pass.
         plane = chaos_result.plane_counters
