@@ -135,6 +135,46 @@ def test_disabled_fault_hook_overhead():
     )
 
 
+def test_durable_store_overhead():
+    """The WAL + snapshot layer must stay cheap on the serving hot path.
+
+    With ``REPRO_REGISTRY=durable`` every admission, removal, device
+    state flip and watch event appends an in-memory WAL record, and a
+    background process snapshots the full registry image every
+    ``snapshot_interval`` simulated seconds.  None of that sits on the
+    per-request data path, so the cost over a volatile registry should
+    be bookkeeping noise.  Same methodology as the fault-hook
+    measurement: median of ``OVERHEAD_RUNS`` identical in-process quick
+    Table-II 'low' runs per arm, both arms on the same machine.
+    """
+    import os
+
+    saved = os.environ.get("REPRO_REGISTRY")
+    try:
+        os.environ.pop("REPRO_REGISTRY", None)
+        volatile = statistics.median(
+            _scenario_wall(None) for _ in range(OVERHEAD_RUNS)
+        )
+        os.environ["REPRO_REGISTRY"] = "durable"
+        durable = statistics.median(
+            _scenario_wall(None) for _ in range(OVERHEAD_RUNS)
+        )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_REGISTRY", None)
+        else:
+            os.environ["REPRO_REGISTRY"] = saved
+    overhead_pct = (durable / volatile - 1.0) * 100
+    _results["durable_store_overhead_pct"] = round(overhead_pct, 2)
+    _results["registry_volatile_median_s"] = round(volatile, 3)
+    _results["registry_durable_median_s"] = round(durable, 3)
+    assert overhead_pct < 25.0, (
+        f"durable registry costs {overhead_pct:.1f}% of the Table II "
+        f"scenario wall clock (volatile {volatile:.3f}s vs durable "
+        f"{durable:.3f}s)"
+    )
+
+
 def test_write_bench_json():
     """Persist the measurements (runs last: pytest keeps file order)."""
     assert {"des_events_per_sec", "table2_quick_wall_s"} <= set(_results)
@@ -163,4 +203,15 @@ def test_write_bench_json():
             ),
         },
         "faults": faults,
+        "registry": {
+            "durable_store_overhead_pct": _results.get(
+                "durable_store_overhead_pct"),
+            "volatile_median_s": _results.get(
+                "registry_volatile_median_s"),
+            "durable_median_s": _results.get("registry_durable_median_s"),
+            "method": (
+                f"median of {OVERHEAD_RUNS} in-process quick Table-II "
+                "'low' runs per arm (REPRO_REGISTRY unset vs =durable)"
+            ),
+        },
     }, indent=2) + "\n")

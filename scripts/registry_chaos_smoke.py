@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Registry-chaos smoke: gate the crash-tolerant Registry in CI.
+
+Runs the quick-mode registry-crash scenario — the Accelerators Registry
+fail-stopped mid-reconfiguration-storm, recovered from snapshot+WAL
+(durable arm) and by warm-standby takeover (replicated arm) — and fails
+if any of the acceptance invariants breaks:
+
+* **safety** — a double allocation (one instance on two device records)
+  or a lost instance (allocated pod the recovered Registry forgot, or a
+  registry instance with no backing pod) in either arm;
+* **bounded blackout** — the durable outage exceeding the scripted
+  restart delay plus replay budget, or the replicated outage exceeding
+  the standby lease timeout plus one sync tick (plus replay budget);
+* **fencing** — a zombie pre-crash command reaching a Device Manager
+  without being rejected as stale-epoch;
+* **deadlock / availability** — a hung client CL-event FSM, or fewer
+  than 99 % of resolved in-window requests succeeding;
+* **golden drift** — the seeded digest no longer matching
+  ``tests/experiments/data/golden_registry_chaos.json`` (the run is
+  bit-reproducible; drift is a real behaviour change and the golden must
+  be regenerated deliberately with ``--update``).
+
+Usage: ``REPRO_QUICK=1 PYTHONPATH=src python scripts/registry_chaos_smoke.py``
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+GOLDEN = (ROOT / "tests" / "experiments" / "data"
+          / "golden_registry_chaos.json")
+MIN_AVAILABILITY = 0.99
+#: Slack on top of the scripted/lease-derived outage for replay time.
+REPLAY_SLACK = 0.5
+
+
+def main() -> int:
+    os.environ["REPRO_QUICK"] = "1"
+    os.environ.pop("REPRO_REGISTRY", None)  # arms pick their own mode
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.experiments.registry_chaos import run_registry_chaos
+
+    result = run_registry_chaos()
+    digest = result.to_golden()
+    print(json.dumps(digest, indent=2))
+
+    spec = result.spec
+    failures = []
+    for arm in (result.durable, result.replicated):
+        if arm.double_allocations:
+            failures.append(
+                f"{arm.mode}: {arm.double_allocations} double allocation(s)"
+            )
+        if arm.lost_instances:
+            failures.append(
+                f"{arm.mode}: {arm.lost_instances} lost instance(s)"
+            )
+        if arm.hung_events:
+            failures.append(
+                f"{arm.mode}: {arm.hung_events} client event FSM(s) never "
+                "resolved"
+            )
+        if arm.availability < MIN_AVAILABILITY:
+            failures.append(
+                f"{arm.mode}: availability {arm.availability:.4f} below "
+                f"the {MIN_AVAILABILITY:.0%} floor"
+            )
+        if arm.zombie_accepted or arm.zombie_fenced < 1:
+            failures.append(
+                f"{arm.mode}: zombie pre-crash command was not fenced "
+                f"(fenced={arm.zombie_fenced}, "
+                f"accepted={arm.zombie_accepted})"
+            )
+    if not (spec.restart_after <= result.durable.blackout_seconds
+            <= spec.restart_after + REPLAY_SLACK):
+        failures.append(
+            f"durable: blackout {result.durable.blackout_seconds:.3f}s "
+            f"outside [{spec.restart_after}, "
+            f"{spec.restart_after + REPLAY_SLACK}]s"
+        )
+    replicated_bound = (spec.standby.lease_timeout
+                        + spec.standby.sync_interval + REPLAY_SLACK)
+    if result.replicated.blackout_seconds > replicated_bound:
+        failures.append(
+            f"replicated: blackout "
+            f"{result.replicated.blackout_seconds:.3f}s exceeds the "
+            f"{replicated_bound:.3f}s lease-expiry bound"
+        )
+    if result.replicated.takeovers != 1:
+        failures.append(
+            f"replicated: expected exactly one standby takeover, got "
+            f"{result.replicated.takeovers}"
+        )
+
+    if "--update" in sys.argv[1:]:
+        GOLDEN.write_text(json.dumps(digest, indent=2, sort_keys=True)
+                          + "\n")
+        print(f"golden rewritten: {GOLDEN}")
+    elif GOLDEN.exists():
+        golden = json.loads(GOLDEN.read_text())
+        if digest != golden:
+            drift = [
+                f"{mode}.{key}"
+                for mode in sorted(set(golden) | set(digest))
+                for key in sorted(set(golden.get(mode, {}))
+                                  | set(digest.get(mode, {})))
+                if golden.get(mode, {}).get(key)
+                != digest.get(mode, {}).get(key)
+            ]
+            failures.append(f"golden drift in {drift}; regenerate "
+                            "deliberately with --update")
+    else:
+        failures.append(f"missing golden file {GOLDEN}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

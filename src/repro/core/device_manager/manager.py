@@ -40,6 +40,7 @@ from ...ocl.errors import (
     CL_INVALID_VALUE,
     CL_MEM_OBJECT_ALLOCATION_FAILURE,
     CL_OUT_OF_RESOURCES,
+    CL_STALE_REGISTRY_EPOCH,
 )
 from ...rpc import (
     Message,
@@ -105,6 +106,19 @@ class DeviceManagerError(RuntimeError):
         super().__init__(message)
         self.cl_code = (cl_code if cl_code is not None
                         else CL_INVALID_OPERATION)
+
+
+class StaleEpochError(DeviceManagerError):
+    """A registry control command carried an out-of-date fencing epoch.
+
+    Raised by :meth:`DeviceManager.registry_command` when a command's epoch
+    is older than the highest this manager has seen — the sender is a
+    zombie registry instance (pre-crash leader, or a deposed leader after a
+    standby takeover) and must not be allowed to mutate board state.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, CL_STALE_REGISTRY_EPOCH)
 
 
 def _error_code(exc: Exception) -> int:
@@ -186,6 +200,16 @@ class DeviceManager:
         #: instead of re-executing — what makes client retries idempotent.
         self._replies: "OrderedDict[tuple, tuple]" = OrderedDict()
 
+        # -- registry epoch fencing (see docs/failure_model.md) --------------
+        #: Highest Registry fencing epoch observed on a control command;
+        #: commands carrying an older epoch are rejected (zombie registry).
+        self.registry_epoch = 0
+        #: Stale-epoch control commands rejected by the fence.
+        self.fenced_commands = 0
+        #: Instance names the current-epoch Registry says belong here
+        #: (last ``sync_instances`` payload; observability only).
+        self.synced_instances: list = []
+
         # -- live-migration drain state (see docs/live_migration.md) --------
         #: True while the drain protocol holds the workers at an operation
         #: boundary.  While set, submits divert to ``_drain_backlog`` (the
@@ -261,6 +285,43 @@ class DeviceManager:
     @property
     def configured_bitstream(self) -> Optional[str]:
         return self.board.bitstream.name if self.board.bitstream else None
+
+    def registry_command(self, epoch: int, command: str,
+                         payload=None):
+        """Serve an epoch-fenced control command from the Registry.
+
+        Every Registry (re)start bumps a fencing epoch; commands carry it
+        and this manager rejects any epoch older than the highest seen
+        (:class:`StaleEpochError`) — a zombie pre-crash leader cannot
+        mutate board-side state after a recovery or standby takeover.
+        """
+        if not self.alive:
+            raise DeviceManagerError(
+                f"device manager {self.name!r} is down",
+                CL_DEVICE_NOT_AVAILABLE,
+            )
+        if epoch < self.registry_epoch:
+            self.fenced_commands += 1
+            raise StaleEpochError(
+                f"stale registry epoch {epoch} < {self.registry_epoch} "
+                f"at {self.name!r}"
+            )
+        self.registry_epoch = max(self.registry_epoch, epoch)
+        if command == "report_state":
+            # Ground truth for post-crash reconciliation: what this board
+            # is actually running and who is actually connected.
+            return {
+                "manager": self.name,
+                "epoch": self.registry_epoch,
+                "alive": self.alive and self.board.alive,
+                "bitstream": self.configured_bitstream,
+                "clients": sorted(self.sessions),
+            }
+        if command == "sync_instances":
+            self.synced_instances = sorted(payload or [])
+            return {"manager": self.name, "synced":
+                    len(self.synced_instances)}
+        raise DeviceManagerError(f"unknown registry command {command!r}")
 
     def stop(self) -> None:
         """Shut the manager down (used in tests and migrations)."""

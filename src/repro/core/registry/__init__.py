@@ -14,7 +14,12 @@ from .allocation import (
 )
 from .gatherer import MetricsGatherer
 from .health import REGISTRY_HOST, HealthMonitor
-from .registry import MANAGER_ENV, AcceleratorsRegistry
+from .registry import (
+    MANAGER_ENV,
+    REGISTRY_ENV,
+    AcceleratorsRegistry,
+    RegistryUnavailableError,
+)
 from .services import (
     DeviceRecord,
     DevicesService,
@@ -22,6 +27,8 @@ from .services import (
     FunctionsService,
     InstanceRecord,
 )
+from .standby import STANDBY_HOST, StandbyPolicy, WarmStandby
+from .store import RegistryStore, StoreError, WalRecord
 
 __all__ = [
     "AcceleratorsRegistry",
@@ -35,7 +42,15 @@ __all__ = [
     "HealthMonitor",
     "InstanceRecord",
     "MANAGER_ENV",
+    "REGISTRY_ENV",
     "REGISTRY_HOST",
+    "RegistryStore",
+    "RegistryUnavailableError",
+    "STANDBY_HOST",
+    "StandbyPolicy",
+    "StoreError",
+    "WalRecord",
+    "WarmStandby",
     "MetricFilter",
     "MetricsGatherer",
     "allocate",

@@ -59,6 +59,8 @@ class HealthMonitor:
         self.recoveries_detected: List[Tuple[float, str]] = []
         self._procs = []
         self._managers = []
+        #: Per-manager heartbeat sender (per-board mode), for unwatching.
+        self._beaters: Dict[str, object] = {}
         self.wheel = None
         self._subscription = None
         if self.policy.coalesce:
@@ -93,7 +95,26 @@ class HealthMonitor:
             return  # the shared wheel tick covers this manager
         transport = make_transport(self.env, self.network, manager.node,
                                    self.host)
-        self._procs.append(self.env.process(self._beat(manager, transport)))
+        beater = self.env.process(self._beat(manager, transport))
+        self._procs.append(beater)
+        self._beaters[manager.name] = beater
+
+    def unwatch_manager(self, manager_name: str) -> None:
+        """Forget a deregistered manager: drop its lease and kill its beater.
+
+        Without this, a removed manager leaves a ``last_seen`` entry that
+        the lease checker expires forever after, and (in per-board mode) a
+        heartbeat process that keeps renewing a lease nobody owns.
+        """
+        self.last_seen.pop(manager_name, None)
+        self._managers = [m for m in self._managers
+                          if m.name != manager_name]
+        beater = self._beaters.pop(manager_name, None)
+        if beater is not None:
+            if beater.is_alive:
+                beater.interrupt("manager deregistered")
+            if beater in self._procs:
+                self._procs.remove(beater)
 
     # -- coalesced mode ------------------------------------------------------
     def _tick(self) -> None:

@@ -19,6 +19,7 @@ allocates devices to functions and it validates reconfiguration operations"
 from __future__ import annotations
 
 import heapq
+import json
 import math
 import os
 import time as _time
@@ -33,8 +34,9 @@ from ...cluster.objects import (
     WatchEventType,
 )
 from ...metrics import MetricsRegistry, Scraper
-from ...sim import Environment
-from ..device_manager.manager import DeviceManager
+from ...ocl.errors import CL_REGISTRY_UNAVAILABLE
+from ...sim import Environment, Interrupt
+from ..device_manager.manager import DeviceManager, DeviceManagerError
 from .allocation import (
     AllocationDecision,
     AllocationError,
@@ -46,6 +48,7 @@ from .gatherer import MetricsGatherer
 from .index import DeviceIndex
 from .services import DeviceRecord, DevicesService, FunctionsService, \
     InstanceRecord
+from .store import RegistryStore, WalRecord
 
 #: Pod environment variable carrying the allocated Device Manager address.
 MANAGER_ENV = "BF_MANAGER"
@@ -63,6 +66,31 @@ ALLOCATOR_ENV = "REPRO_ALLOCATOR"
 #: "live" checkpoints in-flight state and moves it (docs/live_migration.md).
 MIGRATION_ENV = "REPRO_MIGRATION"
 
+#: Override the Registry durability mode without touching call sites:
+#: "volatile" (the seed behavior — state dies with the process),
+#: "durable" (WAL + snapshots in a :class:`RegistryStore`; crash/restart
+#: recovers by replay), "replicated" (durable + a warm standby tailing the
+#: WAL is expected to drive takeover).  See docs/failure_model.md.
+REGISTRY_ENV = "REPRO_REGISTRY"
+
+
+class RegistryUnavailableError(DeviceManagerError):
+    """The Accelerators Registry is down (control-plane blackout).
+
+    Structured and **retryable**: allocation requests that hit a crashed
+    Registry fail with ``CL_REGISTRY_UNAVAILABLE`` instead of crashing the
+    caller; gateway/controller retry budgets absorb the blackout.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str = "accelerators registry unavailable"):
+        super().__init__(message, CL_REGISTRY_UNAVAILABLE)
+
+
+def _query_triple(query: DeviceQuery) -> List[str]:
+    return [query.vendor, query.platform, query.accelerator]
+
 
 class AcceleratorsRegistry:
     """Central controller wiring cluster, devices, functions and metrics."""
@@ -79,6 +107,9 @@ class AcceleratorsRegistry:
         use_shm: bool = True,
         allocator: str = "indexed",
         migration: str = "restart",
+        durability: str = "volatile",
+        store: Optional[RegistryStore] = None,
+        snapshot_interval: Optional[float] = 5.0,
     ):
         self.env = env
         self.cluster = cluster
@@ -117,6 +148,47 @@ class AcceleratorsRegistry:
             raise ValueError(f"unknown migration mode {migration!r}")
         self.migration_mode = migration
 
+        durability = os.environ.get(REGISTRY_ENV, "") or durability
+        if durability not in ("volatile", "durable", "replicated"):
+            raise ValueError(f"unknown registry durability {durability!r}")
+        self.durability = durability
+        #: Durable medium (WAL + snapshots); ``None`` in volatile mode —
+        #: the seed behavior, no logging code runs at all.
+        self.store: Optional[RegistryStore] = (
+            store if store is not None
+            else (RegistryStore() if durability != "volatile" else None)
+        )
+        #: Fencing token: bumped (and durably recorded) on every (re)start.
+        #: Device Managers reject commands carrying an older epoch.
+        self.epoch = (self.store.epoch + 1) if self.store is not None else 1
+        #: False between :meth:`crash` and the end of :meth:`restart`
+        #: replay — the control-plane blackout window.
+        self.alive = True
+        self.crashes = 0
+        self.recoveries = 0
+        self.crashed_at: Optional[float] = None
+        self.recovered_at: Optional[float] = None
+        #: Cumulative control-plane blackout, simulated seconds.
+        self.blackout_seconds = 0.0
+        #: WAL records read back (and semantic records applied) at restarts.
+        self.replayed_ops = 0
+        self.replay_applied = 0
+        #: Allocation requests refused (CL_REGISTRY_UNAVAILABLE) while down.
+        self.denied_admissions = 0
+        #: Cluster watch events that arrived while the Registry was dead
+        #: (the reconciliation pass heals what they would have recorded).
+        self.missed_watch_events = 0
+        #: Divergence healed by the post-replay reconciliation pass.
+        self.reconciliation: Dict[str, int] = {}
+        self._replaying = False
+        #: name → manager resolver surviving crashes (Device Manager
+        #: addresses live in cluster DNS, not in Registry process memory).
+        self._known_managers: Dict[str, DeviceManager] = {}
+        #: enable_health arguments, kept to re-arm the monitor on restart.
+        self._health_config = None
+        self.snapshot_interval = snapshot_interval
+        self._snapshot_proc = None
+
         #: Registry-side metrics, scraped alongside the Device Managers'.
         self.metrics = MetricsRegistry(namespace="registry")
         self._m_migrations = self.metrics.counter(
@@ -127,6 +199,17 @@ class AcceleratorsRegistry:
             "live_migrations_total",
             "Instances moved with checkpoint/restore (zero downtime)",
         )
+        self._m_epoch = self.metrics.gauge(
+            "epoch", "Current Registry fencing epoch (bumps per restart)",
+        )
+        self._m_blackout = self.metrics.gauge(
+            "blackout_seconds_total",
+            "Cumulative control-plane blackout (crash until replay done)",
+        )
+        self._m_replayed = self.metrics.gauge(
+            "replayed_ops_total", "WAL records replayed across restarts",
+        )
+        self._m_epoch.set(self.epoch)
         if scraper is not None:
             scraper.add_target("registry", self.metrics)
         #: Incremental Algorithm 1 index; None in pure-oracle mode.
@@ -144,6 +227,10 @@ class AcceleratorsRegistry:
 
         for manager in managers:
             self.register_manager(manager)
+        if self.store is not None:
+            self.store.record_epoch(self.epoch)
+            if self.snapshot_interval is not None:
+                self._snapshot_proc = env.process(self._snapshot_loop())
 
         cluster.add_admission_hook(self._admit)
         cluster.watch(self._on_watch)
@@ -152,6 +239,8 @@ class AcceleratorsRegistry:
         """Add a Device Manager to the Devices Service (autoscaled nodes)."""
         record = self.devices.register(manager)
         manager.reconfiguration_validator = self._validate_reconfiguration
+        self._known_managers[manager.name] = manager
+        self._log("register_manager", manager=manager.name)
         if self.gatherer is not None:
             self.gatherer.scraper.add_target(
                 manager.name, manager.metrics, node=manager.node.name
@@ -169,8 +258,12 @@ class AcceleratorsRegistry:
         if record.instances:
             return False
         self.devices.remove(manager_name)
+        self._known_managers.pop(manager_name, None)
+        self._log("deregister_manager", manager=manager_name)
         if self.gatherer is not None:
             self.gatherer.scraper.remove_target(manager_name)
+        if self.health is not None:
+            self.health.unwatch_manager(manager_name)
         if self.index is not None:
             self.index.remove(manager_name)
             self._valid_until.pop(manager_name, None)
@@ -179,7 +272,11 @@ class AcceleratorsRegistry:
     # -- public API ----------------------------------------------------------
     def register_function(self, name: str, query: DeviceQuery) -> None:
         """Pre-register a function's device requirements."""
-        self.functions.register(name, query)
+        known = self.functions.known(name)
+        record = self.functions.register(name, query)
+        if not known:
+            self._log("register_function", function=name,
+                      query=_query_triple(record.device_query))
 
     def _view_of(self, record: DeviceRecord,
                  metrics: Optional[Dict[str, float]] = None) -> DeviceView:
@@ -295,7 +392,18 @@ class AcceleratorsRegistry:
 
     def _admit(self, spec: PodSpec) -> None:
         """Mutating admission: run Algorithm 1 and patch the pod spec."""
+        if not self.alive:
+            # Control-plane blackout: refuse with a structured retryable
+            # error instead of crashing the caller's env.run.
+            self.denied_admissions += 1
+            raise RegistryUnavailableError(
+                f"registry down, cannot admit {spec.name!r}"
+            )
+        known = self.functions.known(spec.function)
         function = self.functions.register(spec.function, spec.device_query)
+        if not known:
+            self._log("register_function", function=spec.function,
+                      query=_query_triple(function.device_query))
         query = function.device_query
         decision = self._allocate(query, spec.node_name)
 
@@ -310,6 +418,12 @@ class AcceleratorsRegistry:
             name=spec.name, function=spec.function,
             node=spec.node_name, device=record.name,
         ))
+        self._log(
+            "admit", instance=spec.name, function=spec.function,
+            node=spec.node_name, device=record.name,
+            pending=(query.accelerator if decision.needs_reconfiguration
+                     else None),
+        )
 
         if decision.needs_reconfiguration:
             record.pending_bitstream = query.accelerator
@@ -363,6 +477,8 @@ class AcceleratorsRegistry:
         source.instances.discard(instance_name)
         target.instances.add(instance_name)
         self.functions.move_instance(instance_name, target_name)
+        self._log("move_instance", instance=instance_name,
+                  device=target_name)
         if instance_name in self.cluster.pods:
             self.cluster.patch_pod(instance_name,
                                    **{MANAGER_ENV: target_name})
@@ -391,6 +507,7 @@ class AcceleratorsRegistry:
             if not records:
                 raise ValueError("no managers registered: pass network=")
             network = records[0].manager.network
+        self._health_config = (network, policy, wheel)
         self.health = HealthMonitor(self.env, self, network, policy,
                                     wheel=wheel)
         return self.health
@@ -413,6 +530,7 @@ class AcceleratorsRegistry:
         record.alive = False
         record.pending_bitstream = None
         self.device_failures += 1
+        self._log("device_dead", manager=device_name)
         self._index_refresh(record)  # drops the dead device from the index
         affected = sorted(record.instances)
         for instance_name in affected:
@@ -448,16 +566,26 @@ class AcceleratorsRegistry:
             record = self.devices.get(device_name)
         except KeyError:
             return
+        if not record.alive:
+            self._log("device_alive", manager=device_name)
         record.alive = True
         self._index_refresh(record)
 
     # -- watch ------------------------------------------------------------------
     def _on_watch(self, event: WatchEvent) -> None:
+        if not self.alive:
+            # A dead Registry sees nothing; the post-restart reconciliation
+            # pass heals whatever these events would have recorded.
+            self.missed_watch_events += 1
+            return
         if event.type is WatchEventType.DELETED:
             pod = event.pod
             instance = self.functions.remove_instance(
                 pod.spec.function, pod.name
             )
+            if instance is not None:
+                self._log("remove_instance", function=pod.spec.function,
+                          instance=pod.name)
             if instance and instance.device:
                 try:
                     record = self.devices.get(instance.device)
@@ -475,6 +603,12 @@ class AcceleratorsRegistry:
         on the device may need a different accelerator (those should have
         been migrated at allocation time).
         """
+        if not self.alive:
+            # Surfaced to the client as a structured CL_REGISTRY_UNAVAILABLE
+            # build failure (retryable) rather than a silent denial.
+            raise RegistryUnavailableError(
+                f"registry down, cannot validate build for {client!r}"
+            )
         instance = self.functions.instance(client)
         if instance is None or not instance.device:
             return False
@@ -489,3 +623,415 @@ class AcceleratorsRegistry:
             if other_acc and other_acc != binary:
                 return False
         return True
+
+    # -- durability: WAL, snapshots, crash/restart, reconciliation -----------
+    #: Simulated cost of applying one replayed WAL record.
+    REPLAY_SECONDS_PER_OP = 20e-6
+    #: Simulated snapshot read bandwidth (bytes/second) at restart.
+    SNAPSHOT_LOAD_BYTES_PER_SECOND = 1e9
+
+    def _log(self, op: str, **args: object) -> None:
+        """Append one operation to the WAL (no-op in volatile mode or
+        while the log itself is being replayed)."""
+        if self.store is not None and not self._replaying:
+            self.store.append(op, **args)
+
+    def snapshot_state(self) -> dict:
+        """Deterministic full-state snapshot (plain JSON-clean dict)."""
+        devices = {
+            record.name: {
+                "alive": record.alive,
+                "pending_bitstream": record.pending_bitstream,
+                "instances": sorted(record.instances),
+            }
+            for record in self.devices.all()
+        }
+        functions = {
+            fn.name: {
+                "seq": fn.seq,
+                "query": _query_triple(fn.device_query),
+                "instances": {
+                    inst.name: {
+                        "node": inst.node, "device": inst.device,
+                        "function_seq": inst.function_seq, "seq": inst.seq,
+                    }
+                    for inst in fn.instances.values()
+                },
+            }
+            for fn in self.functions.all()
+        }
+        return {
+            "epoch": self.epoch,
+            "function_seq": self.functions._function_seq,
+            "instance_seq": self.functions._instance_seq,
+            "devices": devices,
+            "functions": functions,
+        }
+
+    def _snapshot_loop(self):
+        """Process: periodically fold the WAL into a snapshot."""
+        try:
+            while True:
+                yield self.env.timeout(self.snapshot_interval)
+                if self.alive and self.store is not None:
+                    self.store.take_snapshot(self.snapshot_state())
+        except Interrupt:
+            return
+
+    def _install_state(self, state: dict,
+                       resolver: Dict[str, DeviceManager]) -> None:
+        """Rebuild both services from a snapshot (replay prologue)."""
+        for name in sorted(state["devices"]):
+            cell = state["devices"][name]
+            manager = resolver.get(name)
+            if manager is None:
+                continue  # address lost; reconciliation may re-adopt it
+            record = self.devices.register(manager)
+            manager.reconfiguration_validator = (
+                self._validate_reconfiguration
+            )
+            self._known_managers[name] = manager
+            record.alive = cell["alive"]
+            record.pending_bitstream = cell["pending_bitstream"]
+            record.instances = set(cell["instances"])
+        for fn_name, cell in sorted(state["functions"].items(),
+                                    key=lambda kv: kv[1]["seq"]):
+            record = self.functions.register(
+                fn_name, DeviceQuery(*cell["query"])
+            )
+            record.seq = cell["seq"]
+            for inst_name, inst in sorted(cell["instances"].items(),
+                                          key=lambda kv: kv[1]["seq"]):
+                self.functions.restore_instance(InstanceRecord(
+                    name=inst_name, function=fn_name, node=inst["node"],
+                    device=inst["device"],
+                    function_seq=inst["function_seq"], seq=inst["seq"],
+                ))
+        self.functions._function_seq = max(
+            self.functions._function_seq, state["function_seq"]
+        )
+        self.functions._instance_seq = max(
+            self.functions._instance_seq, state["instance_seq"]
+        )
+
+    def _apply_record(self, record: WalRecord,
+                      resolver: Dict[str, DeviceManager]) -> bool:
+        """Apply one replayed WAL record; idempotent (re-applying a record
+        the state already reflects is a no-op).  Returns True if applied."""
+        op, args = record.op, record.args
+        if op == "epoch":
+            return False
+        if op == "register_manager":
+            name = args["manager"]
+            if name in self.devices:
+                return False
+            manager = resolver.get(name)
+            if manager is None:
+                return False
+            self.devices.register(manager)
+            manager.reconfiguration_validator = (
+                self._validate_reconfiguration
+            )
+            self._known_managers[name] = manager
+            return True
+        if op == "deregister_manager":
+            name = args["manager"]
+            if name not in self.devices:
+                return False
+            self.devices.remove(name)
+            return True
+        if op == "register_function":
+            name = args["function"]
+            if self.functions.known(name):
+                return False
+            self.functions.register(name, DeviceQuery(*args["query"]))
+            return True
+        if op == "admit":
+            instance = args["instance"]
+            if self.functions.instance(instance) is not None:
+                return False
+            function = args["function"]
+            if not self.functions.known(function):
+                return False  # its register_function record was lost
+            self.functions.add_instance(function, InstanceRecord(
+                name=instance, function=function,
+                node=args["node"], device=args["device"],
+            ))
+            if args["device"] in self.devices:
+                device = self.devices.get(args["device"])
+                device.instances.add(instance)
+                if args.get("pending"):
+                    device.pending_bitstream = args["pending"]
+            return True
+        if op == "remove_instance":
+            instance = self.functions.remove_instance(
+                args["function"], args["instance"]
+            )
+            if instance is None:
+                return False
+            if instance.device and instance.device in self.devices:
+                self.devices.get(instance.device).instances.discard(
+                    args["instance"]
+                )
+            return True
+        if op == "move_instance":
+            instance = self.functions.instance(args["instance"])
+            if instance is None or instance.device == args["device"]:
+                return False
+            if instance.device and instance.device in self.devices:
+                self.devices.get(instance.device).instances.discard(
+                    args["instance"]
+                )
+            self.functions.move_instance(args["instance"], args["device"])
+            if args["device"] in self.devices:
+                self.devices.get(args["device"]).instances.add(
+                    args["instance"]
+                )
+            return True
+        if op in ("device_dead", "device_alive"):
+            name = args["manager"]
+            if name not in self.devices:
+                return False
+            device = self.devices.get(name)
+            alive = op == "device_alive"
+            if device.alive == alive:
+                return False
+            device.alive = alive
+            if not alive:
+                device.pending_bitstream = None
+            return True
+        return False  # unknown op: forward-compatible skip
+
+    def crash(self) -> None:
+        """Fail-stop the Registry process.
+
+        Both services, the allocator index and the health monitor die with
+        the process; the admission hook and watch registrations survive on
+        the cluster side but refuse/ignore work until :meth:`restart`
+        replays the durable store.  In volatile mode the state is simply
+        gone (there is nothing to restart from).
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self.crashed_at = self.env.now
+        if self.health is not None:
+            self.health.stop()
+            self.health = None
+        if self._snapshot_proc is not None and self._snapshot_proc.is_alive:
+            self._snapshot_proc.interrupt("registry crashed")
+        self._snapshot_proc = None
+        self.devices = DevicesService()
+        self.functions = FunctionsService()
+        if self.index is not None:
+            self.index = DeviceIndex(self.metrics_order,
+                                     self.metrics_filters)
+        self._falloff = []
+        self._valid_until = {}
+
+    def restart(self, resolver: Optional[Dict[str, DeviceManager]] = None,
+                store: Optional[RegistryStore] = None):
+        """Restart a crashed Registry from its durable store.
+
+        Returns the recovery process (joinable): epoch bump → snapshot +
+        WAL replay (paying the simulated replay time — the blackout ends
+        when replay finishes) → health re-arm → reconciliation against
+        DM-reported ground truth.  ``store`` substitutes a different log
+        copy (the warm standby's, possibly lagging); ``resolver`` overrides
+        the manager-name → :class:`DeviceManager` address book.
+        """
+        if self.alive:
+            return None
+        if store is not None:
+            self.store = store
+        if self.store is None:
+            raise RuntimeError(
+                "volatile registry has no durable store to restart from"
+            )
+        return self.env.process(self._recover(resolver))
+
+    def _recover(self, resolver: Optional[Dict[str, DeviceManager]] = None):
+        """Process: replay the store, then reconcile with the boards."""
+        resolver = dict(resolver) if resolver is not None \
+            else dict(self._known_managers)
+        snapshot, records = self.store.replay()
+        snapshot_bytes = (
+            len(json.dumps(snapshot, sort_keys=True,
+                           separators=(",", ":")).encode())
+            if snapshot is not None else 0
+        )
+        yield self.env.timeout(
+            snapshot_bytes / self.SNAPSHOT_LOAD_BYTES_PER_SECOND
+            + self.REPLAY_SECONDS_PER_OP * len(records)
+        )
+        self.epoch = self.store.epoch + 1
+        self._replaying = True
+        try:
+            if snapshot is not None:
+                self._install_state(snapshot, resolver)
+            for record in records:
+                if self._apply_record(record, resolver):
+                    self.replay_applied += 1
+        finally:
+            self._replaying = False
+        self.replayed_ops += len(records)
+        self.store.record_epoch(self.epoch)
+        # Replay done: the control plane serves again (blackout over).
+        self.alive = True
+        self.recoveries += 1
+        self.recovered_at = self.env.now
+        if self.crashed_at is not None:
+            self.blackout_seconds += self.env.now - self.crashed_at
+        self._m_epoch.set(self.epoch)
+        self._m_blackout.set(self.blackout_seconds)
+        self._m_replayed.set(self.replayed_ops)
+        for record in self.devices.all():
+            self._index_refresh(record)
+        if self._health_config is not None:
+            network, policy, wheel = self._health_config
+            self._health_config = None
+            self.enable_health(network=network, policy=policy, wheel=wheel)
+        yield from self._reconcile(resolver)
+
+    def _reconcile(self, resolver: Dict[str, DeviceManager]):
+        """Process: cross-check replayed state against ground truth.
+
+        The boards are authoritative: every known manager is probed with
+        an epoch-fenced ``report_state`` command (paying control-message
+        network costs), the cluster's pod set is compared with the
+        Functions Service, and divergence heals through the existing
+        Algorithm-1 / ``_evacuate`` paths.
+        """
+        from ...rpc.transport import CONTROL_MESSAGE_BYTES
+        from .health import REGISTRY_HOST
+
+        diffs = {key: 0 for key in (
+            "adopted_devices", "dead_devices", "revived_devices",
+            "adopted_instances", "dropped_instances", "moved_instances",
+            "evacuated_instances", "orphan_sessions",
+        )}
+        for name in sorted(resolver):
+            manager = resolver[name]
+            network = manager.network
+            registry_host = network.host(REGISTRY_HOST)
+            yield from network.transfer(registry_host, manager.node,
+                                        CONTROL_MESSAGE_BYTES)
+            try:
+                report = manager.registry_command(self.epoch, "report_state")
+            except DeviceManagerError:
+                report = None
+            yield from network.transfer(manager.node, registry_host,
+                                        CONTROL_MESSAGE_BYTES)
+            if report is None:
+                # Dead manager process: nothing answered the probe.
+                if name in self.devices and self.devices.get(name).alive:
+                    device = self.devices.get(name)
+                    device.alive = False
+                    device.pending_bitstream = None
+                    diffs["dead_devices"] += 1
+                    self._log("device_dead", manager=name)
+                continue
+            if name not in self.devices:
+                self.devices.register(manager)
+                manager.reconfiguration_validator = (
+                    self._validate_reconfiguration
+                )
+                self._known_managers[name] = manager
+                diffs["adopted_devices"] += 1
+                self._log("register_manager", manager=name)
+            device = self.devices.get(name)
+            if report["alive"] and not device.alive:
+                device.alive = True
+                diffs["revived_devices"] += 1
+                self._log("device_alive", manager=name)
+            elif not report["alive"] and device.alive:
+                device.alive = False
+                device.pending_bitstream = None
+                diffs["dead_devices"] += 1
+                self._log("device_dead", manager=name)
+            for client in report["clients"]:
+                if self.functions.instance(client) is None:
+                    diffs["orphan_sessions"] += 1
+
+        # Cluster pods vs the replayed Functions Service.
+        pods = self.cluster.pods
+        for device in self.devices.all():
+            for instance_name in sorted(device.instances):
+                pod = pods.get(instance_name)
+                instance = self.functions.instance(instance_name)
+                if pod is None:
+                    # The pod died while the Registry was dark.
+                    device.instances.discard(instance_name)
+                    if instance is not None:
+                        self.functions.remove_instance(
+                            instance.function, instance_name
+                        )
+                        self._log("remove_instance",
+                                  function=instance.function,
+                                  instance=instance_name)
+                    diffs["dropped_instances"] += 1
+                    continue
+                actual = pod.spec.env.get(MANAGER_ENV, "")
+                if actual and actual != device.name:
+                    device.instances.discard(instance_name)
+                    if actual in self.devices:
+                        self.devices.get(actual).instances.add(
+                            instance_name
+                        )
+                    self.functions.move_instance(instance_name, actual)
+                    self._log("move_instance", instance=instance_name,
+                              device=actual)
+                    diffs["moved_instances"] += 1
+        for pod_name in sorted(pods):
+            pod = pods[pod_name]
+            allocated = pod.spec.env.get(MANAGER_ENV, "")
+            if not allocated or self.functions.instance(pod_name) is not None:
+                continue
+            # An allocation the replayed log never heard of (lost tail).
+            if not self.functions.known(pod.spec.function):
+                self.functions.register(pod.spec.function,
+                                        pod.spec.device_query)
+                self._log("register_function", function=pod.spec.function,
+                          query=_query_triple(pod.spec.device_query))
+            node = pod.spec.node_name or (pod.node.name if pod.node else "")
+            self.functions.add_instance(pod.spec.function, InstanceRecord(
+                name=pod_name, function=pod.spec.function,
+                node=node, device=allocated,
+            ))
+            pending = None
+            if allocated in self.devices:
+                device = self.devices.get(allocated)
+                device.instances.add(pod_name)
+                # Reconstruct the admission's reconfiguration promise: the
+                # adopted instance needs its accelerator on the device, so
+                # a lost pending_bitstream must be re-established too.
+                accelerator = pod.spec.device_query.accelerator
+                if accelerator and device.effective_bitstream != accelerator:
+                    device.pending_bitstream = accelerator
+                    pending = accelerator
+            self._log("admit", instance=pod_name,
+                      function=pod.spec.function, node=node,
+                      device=allocated, pending=pending)
+            diffs["adopted_instances"] += 1
+
+        # Instances stranded on dead devices: the usual failure path.
+        for device in self.devices.all():
+            if device.alive:
+                continue
+            for instance_name in sorted(device.instances):
+                instance = self.functions.instance(instance_name)
+                if instance is None:
+                    continue
+                self.migrations += 1
+                self._m_migrations.inc()
+                diffs["evacuated_instances"] += 1
+                self.env.process(
+                    self._evacuate(instance_name, instance.function)
+                )
+        for device in self.devices.all():
+            self._index_refresh(device)
+        for key, value in diffs.items():
+            self.reconciliation[key] = (
+                self.reconciliation.get(key, 0) + value
+            )

@@ -92,6 +92,9 @@ class DevicesService:
     def on_node(self, node: str) -> List[DeviceRecord]:
         return [d for d in self.all() if d.node == node]
 
+    def __contains__(self, name: str) -> bool:
+        return name in self._devices
+
     def __len__(self) -> int:
         return len(self._devices)
 
@@ -155,6 +158,9 @@ class FunctionsService:
         except KeyError:
             raise KeyError(f"unknown function {name!r}") from None
 
+    def known(self, name: str) -> bool:
+        return name in self._functions
+
     def add_instance(self, function: str, instance: InstanceRecord) -> None:
         record = self.get(function)
         self._instance_seq += 1
@@ -197,6 +203,24 @@ class FunctionsService:
         if device:
             self._by_device.setdefault(device, {})[instance_name] = instance
         return instance
+
+    def restore_instance(self, instance: InstanceRecord) -> None:
+        """Re-attach a replayed instance with its original sequence numbers.
+
+        Unlike :meth:`add_instance` this does not mint new sequence
+        numbers — snapshot replay must reproduce the exact iteration order
+        the pre-crash Registry would have used — but the internal counters
+        are advanced past the restored values so post-recovery admissions
+        keep sequencing monotonically.
+        """
+        record = self.get(instance.function)
+        record.instances[instance.name] = instance
+        self._by_name[instance.name] = instance
+        if instance.device:
+            self._by_device.setdefault(instance.device, {})[
+                instance.name] = instance
+        self._instance_seq = max(self._instance_seq, instance.seq)
+        self._function_seq = max(self._function_seq, instance.function_seq)
 
     def instance(self, instance_name: str) -> Optional[InstanceRecord]:
         return self._by_name.get(instance_name)

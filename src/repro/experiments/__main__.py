@@ -107,6 +107,23 @@ def _migration():
     return text, [digest]
 
 
+def _registry_chaos():
+    import json
+
+    from .registry_chaos import render_registry_chaos, run_registry_chaos
+
+    result = run_registry_chaos()
+    digest = result.to_golden()
+    rows = [
+        [f"{mode}.{key}", json.dumps(value)]
+        for mode, cell in digest.items() for key, value in cell.items()
+    ]
+    text = render_registry_chaos(result) + "\n\n" + render_table(
+        ["Metric", "Value"], rows, title="Registry-chaos digest",
+    )
+    return text, [digest]
+
+
 def _scale():
     from pathlib import Path
 
@@ -129,6 +146,7 @@ EXPERIMENTS = {
     "fig4c": _fig(run_mm_sweep,
                   "Fig. 4(c): MM kernel round-trip time vs matrix size"),
     "migration": _migration,
+    "registry_chaos": _registry_chaos,
     "table1": lambda: (run_table1(), []),
     "table2": _table("sobel", render_table2),
     "table3": _table("mm", render_table3),

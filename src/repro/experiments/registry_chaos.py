@@ -1,0 +1,456 @@
+"""Registry-chaos experiment: kill the control plane mid-storm.
+
+Replays a Table-II-style tenant load (4 full-HD Sobel functions) on a
+4-board fleet while storm deployments (MM, FIR — accelerators loaded
+nowhere) force reconfigurations, then fail-stops the Accelerators
+Registry in the middle of the storm.  Two recovery arms run the same
+seeded scenario:
+
+* **durable** — an operator-scripted restart replays snapshot + WAL from
+  the :class:`~repro.core.registry.RegistryStore` after a fixed outage;
+* **replicated** — a :class:`~repro.core.registry.WarmStandby` tailing
+  the WAL over the simulated network takes over when the leader lease
+  expires (no operator in the loop).
+
+Both arms finish with an epoch-fenced reconciliation pass against the
+Device Managers' reported ground truth, then a **zombie probe** replays a
+pre-crash-epoch command at a DM to show the fence holds.  The run
+reports the control-plane blackout, replayed WAL records, reconciliation
+diffs, how many blackout-time deploys/heals were absorbed by retry
+budgets, and asserts the two safety invariants of the acceptance
+criteria: zero double allocations and zero lost instances.  Everything
+is DES-clock driven, so each arm is bit-reproducible from its spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster import DeviceQuery, build_testbed
+from ..core.registry import (
+    AcceleratorsRegistry,
+    RegistryStore,
+    StandbyPolicy,
+    WarmStandby,
+)
+from ..core.remote_lib import ManagerAddress, PlatformRouter
+from ..faults import FaultScript, GatewayPolicy, HealthPolicy, RegistryCrash
+from ..fpga.bitstream import extended_library
+from ..fpga.hwspec import GiB, HOST_I7_6700, PCIE_GEN3_X8, NodeSpec
+from ..loadgen import LoadStats, percentile, run_load
+from ..serverless import (
+    FIRApp,
+    FunctionController,
+    FunctionSpec,
+    Gateway,
+    MMApp,
+    SobelApp,
+)
+from ..sim import AllOf, Environment, run_guarded
+from .config import LoadTiming, quick_mode
+from .report import render_table
+
+
+@dataclass(frozen=True)
+class StormWave:
+    """One storm deployment forcing a reconfiguration mid-run."""
+
+    name: str
+    accelerator: str
+    app_factory: type
+    #: Deploy time, seconds after the measurement window opens.
+    offset: float
+
+
+#: MM lands before the crash, FIR arrives *during* the blackout — its
+#: admission must be refused with the structured retryable error and
+#: succeed on a later retry, not crash the run.
+STORM_WAVES: Tuple[StormWave, ...] = (
+    StormWave("mm-storm", "mm", MMApp, 1.0),
+    StormWave("fir-storm", "fir", FIRApp, 2.5),
+)
+
+
+@dataclass
+class RegistryChaosSpec:
+    """One reproducible registry-crash scenario (run once per arm)."""
+
+    boards: int = 4
+    tenants: int = 4
+    tenant_rate: float = 12.0
+    storm_rate: float = 5.0
+    #: Registry crash time, seconds after the window opens (mid-storm:
+    #: after MM's admission, before FIR's).
+    crash_offset: float = 2.0
+    #: Durable arm: scripted operator restart delay after the crash.
+    restart_after: float = 2.0
+    #: Zombie probe time after the crash (past either arm's recovery).
+    probe_offset: float = 3.0
+    #: Storm load starts here (past the last reprogram of either arm).
+    storm_load_offset: float = 7.0
+    request_timeout: float = 2.0
+    #: Chosen so the last pre-crash snapshot predates the storm — the
+    #: storm's admissions are recovered from the WAL, not the snapshot.
+    snapshot_interval: float = 3.0
+    waves: Tuple[StormWave, ...] = STORM_WAVES
+    health: HealthPolicy = field(default_factory=lambda: HealthPolicy(
+        heartbeat_interval=0.25, lease_timeout=1.0))
+    #: Deploy/heal/invoke retry budget sized to outlast the blackout.
+    gateway: GatewayPolicy = field(default_factory=lambda: GatewayPolicy(
+        retry_budget=12, retry_backoff=0.2, backoff_factor=1.5,
+        breaker_threshold=10 ** 9, shed_when_unavailable=False,
+        request_timeout=2.0))
+    standby: StandbyPolicy = field(default_factory=lambda: StandbyPolicy(
+        sync_interval=0.2, lease_timeout=0.6))
+    timing: Optional[LoadTiming] = None
+
+    def load_timing(self) -> LoadTiming:
+        if self.timing is not None:
+            return self.timing
+        if quick_mode():
+            return LoadTiming(warmup=1.0, duration=10.0)
+        return LoadTiming(warmup=2.0, duration=20.0)
+
+
+@dataclass
+class RegistryChaosModeResult:
+    """Outcome of the scenario under one durability arm."""
+
+    mode: str
+    sent: int = 0
+    completed: int = 0
+    errors: int = 0
+    availability: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    crash_at: float = 0.0
+    #: Crash until WAL replay finished (control plane serving again).
+    blackout_seconds: float = 0.0
+    epoch: int = 0
+    replayed_ops: int = 0
+    replay_applied: int = 0
+    denied_admissions: int = 0
+    missed_watch_events: int = 0
+    deploy_retries: int = 0
+    heal_retries: int = 0
+    heals: int = 0
+    wal_appends: int = 0
+    snapshots_taken: int = 0
+    #: Reconciliation diffs (ground truth vs replayed state).
+    reconciliation: Dict[str, int] = field(default_factory=dict)
+    #: Stale-epoch commands rejected at Device Managers (zombie probe
+    #: included) — must be >= 1 to prove the fence is observable.
+    fenced_commands: int = 0
+    zombie_fenced: int = 0
+    zombie_accepted: int = 0
+    #: Warm-standby stats (replicated arm only).
+    takeovers: int = 0
+    records_tailed: int = 0
+    standby_bytes: int = 0
+    lag_records_at_takeover: int = 0
+    #: Safety invariants (acceptance: both exactly zero).
+    double_allocations: int = 0
+    lost_instances: int = 0
+    hung_events: int = 0
+    stats: List[LoadStats] = field(default_factory=list)
+
+    def to_golden(self) -> Dict[str, object]:
+        """Deterministic digest for golden-file regression testing."""
+        return {
+            "sent": self.sent,
+            "completed": self.completed,
+            "errors": self.errors,
+            "availability": round(self.availability, 6),
+            "p50_ms": round(self.p50_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "crash_at": round(self.crash_at, 4),
+            "blackout_seconds": round(self.blackout_seconds, 4),
+            "epoch": self.epoch,
+            "replayed_ops": self.replayed_ops,
+            "replay_applied": self.replay_applied,
+            "denied_admissions": self.denied_admissions,
+            "missed_watch_events": self.missed_watch_events,
+            "deploy_retries": self.deploy_retries,
+            "heal_retries": self.heal_retries,
+            "heals": self.heals,
+            "wal_appends": self.wal_appends,
+            "snapshots_taken": self.snapshots_taken,
+            "reconciliation": dict(sorted(self.reconciliation.items())),
+            "fenced_commands": self.fenced_commands,
+            "zombie_fenced": self.zombie_fenced,
+            "zombie_accepted": self.zombie_accepted,
+            "takeovers": self.takeovers,
+            "records_tailed": self.records_tailed,
+            "standby_bytes": self.standby_bytes,
+            "lag_records_at_takeover": self.lag_records_at_takeover,
+            "double_allocations": self.double_allocations,
+            "lost_instances": self.lost_instances,
+            "hung_events": self.hung_events,
+        }
+
+
+@dataclass
+class RegistryChaosResult:
+    """Both recovery arms of the registry-crash comparison."""
+
+    spec: RegistryChaosSpec
+    durable: RegistryChaosModeResult
+    replicated: RegistryChaosModeResult
+
+    def to_golden(self) -> Dict[str, object]:
+        return {
+            "durable": self.durable.to_golden(),
+            "replicated": self.replicated.to_golden(),
+        }
+
+
+def _node_specs(boards: int) -> List[NodeSpec]:
+    return [
+        NodeSpec(
+            name=f"n{index:04d}",
+            host=HOST_I7_6700,
+            pcie=PCIE_GEN3_X8,
+            memory_bytes=32 * GiB,
+            is_master=(index == 0),
+        )
+        for index in range(boards)
+    ]
+
+
+def check_invariants(registry, cluster) -> Tuple[int, int]:
+    """Count double allocations and lost instances (must both be 0).
+
+    * **double allocation** — an instance claimed by more than one device
+      record, or whose Functions Service device disagrees with the device
+      record holding it (the zombie-registry hazard epoch fencing
+      prevents);
+    * **lost instance** — a pod the control plane allocated
+      (``MANAGER_ENV`` patched in) with no Functions Service record, or a
+      registry instance whose pod no longer exists (state dropped across
+      the crash).
+    """
+    from ..core.registry.registry import MANAGER_ENV
+
+    double = 0
+    owners: Dict[str, List[str]] = {}
+    for device in registry.devices.all():
+        for instance_name in device.instances:
+            owners.setdefault(instance_name, []).append(device.name)
+    for instance_name, devices in owners.items():
+        if len(devices) > 1:
+            double += 1
+            continue
+        instance = registry.functions.instance(instance_name)
+        if instance is not None and instance.device != devices[0]:
+            double += 1
+
+    lost = 0
+    pods = cluster.pods
+    for pod_name, pod in pods.items():
+        if not pod.spec.env.get(MANAGER_ENV):
+            continue
+        if registry.functions.instance(pod_name) is None:
+            lost += 1
+    for function in registry.functions.all():
+        for instance_name in function.instances:
+            if instance_name not in pods:
+                lost += 1
+    return double, lost
+
+
+def run_registry_chaos_mode(mode: str,
+                            spec: Optional[RegistryChaosSpec] = None
+                            ) -> RegistryChaosModeResult:
+    """Run the registry-crash scenario under one durability arm."""
+    assert mode in ("durable", "replicated")
+    spec = spec or RegistryChaosSpec()
+    timing = spec.load_timing()
+    env = Environment()
+    testbed = build_testbed(
+        env, node_specs=_node_specs(spec.boards),
+        library=extended_library(), functional=False, scrape_interval=1.0,
+    )
+    gateway = Gateway(env, testbed.cluster, policy=spec.gateway)
+    # The store is passed explicitly so the experiment compares both arms
+    # in one process — an inherited REPRO_REGISTRY cannot override either.
+    registry = AcceleratorsRegistry(
+        env, testbed.cluster, list(testbed.managers.values()),
+        scraper=testbed.scraper, store=RegistryStore(),
+        snapshot_interval=spec.snapshot_interval,
+    )
+    registry.durability = mode
+    router = PlatformRouter(env, testbed.network, testbed.library)
+    router.add_managers(
+        [ManagerAddress.of(m) for m in testbed.managers.values()]
+    )
+    controller = FunctionController(env, testbed.cluster, gateway, router,
+                                    self_heal=True)
+    registry.migrator = controller.migrate
+    registry.enable_health(network=testbed.network, policy=spec.health)
+    standby = None
+    if mode == "replicated":
+        standby = WarmStandby(env, registry, testbed.network,
+                              dict(testbed.managers), spec.standby)
+
+    tenants = [f"sobel-{index}" for index in range(spec.tenants)]
+
+    def deploy_tenants():
+        for name in tenants:
+            yield from gateway.deploy(FunctionSpec(
+                name=name,
+                app_factory=SobelApp,
+                device_query=DeviceQuery(vendor="Intel", accelerator="sobel"),
+                runtime="blastfunction",
+            ))
+            yield from controller.wait_ready(name)
+
+    env.run(until=env.process(deploy_tenants()))
+
+    measure_start = env.now + timing.warmup
+    hard_end = measure_start + timing.duration
+    crash_at = measure_start + spec.crash_offset
+
+    injector = RegistryCrash(registry)
+    script = FaultScript(env)
+    if mode == "durable":
+        script.crash_registry(injector, at=crash_at,
+                              restart_after=spec.restart_after)
+    else:
+        # The warm standby detects the expired leader lease on its own.
+        script.crash_registry(injector, at=crash_at)
+    probe_target = testbed.managers[sorted(testbed.managers)[0]]
+    script.at(crash_at + spec.probe_offset, "zombie probe",
+              lambda: injector.zombie_probe(probe_target))
+    script.arm()
+
+    def storm_deployer():
+        for wave in spec.waves:
+            yield env.timeout(measure_start + wave.offset - env.now)
+            yield from gateway.deploy(FunctionSpec(
+                name=wave.name,
+                app_factory=wave.app_factory,
+                device_query=DeviceQuery(vendor="Intel",
+                                         accelerator=wave.accelerator),
+                runtime="blastfunction",
+            ))
+
+    def storm_load(wave: StormWave):
+        yield env.timeout(measure_start + spec.storm_load_offset - env.now)
+        stats = yield from run_load(
+            env, gateway, wave.name, rate=spec.storm_rate,
+            duration=hard_end - env.now, warmup=0.0, connections=1,
+        )
+        return stats
+
+    tenant_processes = [
+        env.process(run_load(
+            env, gateway, name, rate=spec.tenant_rate,
+            duration=timing.duration, warmup=timing.warmup, connections=1,
+        ))
+        for name in tenants
+    ]
+    storm_processes = [env.process(storm_load(w)) for w in spec.waves]
+    deployer = env.process(storm_deployer())
+
+    def main():
+        results = yield AllOf(
+            env, tenant_processes + storm_processes + [deployer]
+        )
+        return [results[p] for p in tenant_processes + storm_processes]
+
+    stats_list = run_guarded(
+        env, until=env.process(main()),
+        deadline=timing.warmup + timing.duration + 120.0,
+        what=f"registry chaos ({mode})",
+    )
+    # Let in-flight retries, heals and evacuations settle, then stop the
+    # perpetual processes so nothing is left unaccounted.
+    env.run(until=env.now + 3.0)
+    if standby is not None:
+        standby.stop()
+    if registry.health is not None:
+        registry.health.stop()
+    env.run(until=env.now + 1.0)
+
+    result = RegistryChaosModeResult(mode=mode, crash_at=crash_at)
+    for stats in stats_list:
+        result.stats.append(stats)
+        result.sent += stats.sent
+        result.completed += stats.completed
+        result.errors += stats.errors
+    resolved = result.completed + result.errors
+    result.availability = result.completed / resolved if resolved else 0.0
+    latencies = [l for s in stats_list for l in s.latencies]
+    result.p50_ms = 1e3 * percentile(latencies, 50) if latencies else 0.0
+    result.p99_ms = 1e3 * percentile(latencies, 99) if latencies else 0.0
+
+    result.blackout_seconds = registry.blackout_seconds
+    result.epoch = registry.epoch
+    result.replayed_ops = registry.replayed_ops
+    result.replay_applied = registry.replay_applied
+    result.denied_admissions = registry.denied_admissions
+    result.missed_watch_events = registry.missed_watch_events
+    result.deploy_retries = sum(
+        f.deploy_retries for f in gateway.functions.values()
+    )
+    result.heal_retries = controller.heal_retries
+    result.heals = controller.heals
+    result.wal_appends = registry.store.appends
+    result.snapshots_taken = registry.store.snapshots_taken
+    result.reconciliation = dict(registry.reconciliation)
+    result.fenced_commands = sum(
+        m.fenced_commands for m in testbed.managers.values()
+    )
+    result.zombie_fenced = injector.zombie_fenced
+    result.zombie_accepted = injector.zombie_accepted
+    if standby is not None:
+        result.takeovers = standby.takeovers
+        result.records_tailed = standby.records_tailed
+        result.standby_bytes = standby.bytes_tailed
+        result.lag_records_at_takeover = standby.lag_records_at_takeover
+    result.double_allocations, result.lost_instances = check_invariants(
+        registry, testbed.cluster
+    )
+    result.hung_events = sum(len(c._machines) for c in router.connections)
+    return result
+
+
+def run_registry_chaos(spec: Optional[RegistryChaosSpec] = None
+                       ) -> RegistryChaosResult:
+    """Run the crash scenario under both recovery arms."""
+    spec = spec or RegistryChaosSpec()
+    return RegistryChaosResult(
+        spec=spec,
+        durable=run_registry_chaos_mode("durable", spec),
+        replicated=run_registry_chaos_mode("replicated", spec),
+    )
+
+
+def render_registry_chaos(result: RegistryChaosResult) -> str:
+    """Human-readable side-by-side of the two recovery arms."""
+    rows = []
+    durable, replicated = result.durable, result.replicated
+    for label, attr in (
+        ("requests sent", "sent"),
+        ("completed", "completed"),
+        ("errors", "errors"),
+        ("availability", "availability"),
+        ("p99 latency (ms)", "p99_ms"),
+        ("blackout (s)", "blackout_seconds"),
+        ("replayed WAL records", "replayed_ops"),
+        ("denied admissions", "denied_admissions"),
+        ("deploy retries absorbed", "deploy_retries"),
+        ("stale-epoch fenced", "fenced_commands"),
+        ("standby takeovers", "takeovers"),
+        ("double allocations", "double_allocations"),
+        ("lost instances", "lost_instances"),
+    ):
+        fmt = (lambda v: round(v, 4) if isinstance(v, float) else v)
+        rows.append([label, fmt(getattr(durable, attr)),
+                     fmt(getattr(replicated, attr))])
+    return render_table(
+        ["Metric", "durable (scripted restart)", "replicated (standby)"],
+        rows,
+        title="Registry chaos: control-plane crash mid-reconfiguration-storm",
+    )

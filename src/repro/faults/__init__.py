@@ -7,6 +7,7 @@ without this package (golden outputs stay bit-identical).
 
 from .plane import PASS, MessageVerdict, NetworkFaultPlane
 from .policies import GatewayPolicy, HealthPolicy, RetryPolicy
+from .registry_crash import RegistryCrash
 from .rng import FaultRng
 from .script import FaultScript
 
@@ -18,5 +19,6 @@ __all__ = [
     "MessageVerdict",
     "NetworkFaultPlane",
     "PASS",
+    "RegistryCrash",
     "RetryPolicy",
 ]

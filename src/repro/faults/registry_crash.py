@@ -1,0 +1,87 @@
+"""Registry fail-stop injector: kill the control plane, restart, probe.
+
+Complements the PR 2 injectors (board lock-up, Device Manager crash,
+message faults) with the one component they could not touch: the
+Accelerators Registry itself.  :meth:`RegistryCrash.kill` fail-stops the
+Registry (volatile services and health monitor die; the durable
+:class:`~repro.core.registry.store.RegistryStore` survives, because it
+models the disk, not the process) and remembers the dead incarnation's
+fencing epoch.  :meth:`restore` restarts from snapshot + WAL replay, and
+:meth:`zombie_probe` then impersonates the dead incarnation against a
+Device Manager to verify the fence actually holds — the probe *must*
+be rejected with a stale-epoch error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class RegistryCrash:
+    """Fail-stop crash (and scripted restart) of the Accelerators Registry."""
+
+    def __init__(self, registry):
+        self.registry = registry
+        self.env = registry.env
+        #: (time, event) log of injections and probes.
+        self.log: List[Tuple[float, str]] = []
+        #: Fencing epoch of the most recently killed incarnation; a probe
+        #: replaying a command at this epoch must be fenced after restart.
+        self.zombie_epoch: Optional[int] = None
+        #: Zombie probes correctly rejected by Device Managers.
+        self.zombie_fenced = 0
+        #: Zombie probes wrongly accepted (should stay 0 — a double-
+        #: allocation hazard if it ever is not).
+        self.zombie_accepted = 0
+
+    def kill(self) -> None:
+        """Fail-stop the Registry, remembering its epoch for zombie probes."""
+        if not self.registry.alive:
+            return
+        self.zombie_epoch = self.registry.epoch
+        self.registry.crash()
+        self.log.append((self.env.now, "registry killed"))
+
+    def restore(self, resolver: Optional[Dict] = None, store=None):
+        """Restart from the durable store; returns the recovery process."""
+        process = self.registry.restart(resolver=resolver, store=store)
+        if process is not None:
+            self.log.append((self.env.now, "registry restarting"))
+        return process
+
+    def zombie_probe(self, manager) -> bool:
+        """Replay a pre-crash-epoch command at a DM; True if it was fenced.
+
+        Models the classic split-brain hazard: the old leader (or a client
+        still holding its tokens) keeps issuing commands after a new
+        incarnation took over.  ``sync_instances`` with an empty payload is
+        deliberately chosen as the probe — if the fence leaked, it would
+        overwrite the manager's instance view and invite double allocation.
+        """
+        from ..core.device_manager.manager import (
+            DeviceManagerError,
+            StaleEpochError,
+        )
+
+        if self.zombie_epoch is None:
+            raise RuntimeError("no crash recorded; nothing to probe with")
+        try:
+            manager.registry_command(self.zombie_epoch, "sync_instances",
+                                     [])
+        except StaleEpochError:
+            self.zombie_fenced += 1
+            self.log.append(
+                (self.env.now, f"zombie fenced at {manager.name}")
+            )
+            return True
+        except DeviceManagerError:
+            # The manager itself is down — not evidence either way.
+            self.log.append(
+                (self.env.now, f"zombie probe unanswered at {manager.name}")
+            )
+            return False
+        self.zombie_accepted += 1
+        self.log.append(
+            (self.env.now, f"ZOMBIE ACCEPTED at {manager.name}")
+        )
+        return False

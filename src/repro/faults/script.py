@@ -46,6 +46,18 @@ class FaultScript:
                     manager.restart)
         return self
 
+    def crash_registry(self, injector, at: float,
+                       restart_after: Optional[float] = None
+                       ) -> "FaultScript":
+        """Kill the Accelerators Registry via a
+        :class:`~repro.faults.registry_crash.RegistryCrash` injector;
+        optionally schedule its snapshot+WAL restart after a delay."""
+        self.at(at, "crash registry", injector.kill)
+        if restart_after is not None:
+            self.at(at + restart_after, "restart registry",
+                    injector.restore)
+        return self
+
     def kill_worker(self, manager, at: float, index: int = 0) -> "FaultScript":
         """Kill one worker process of a Device Manager."""
         return self.at(at, f"kill worker {index} of {manager.name}",

@@ -41,6 +41,14 @@ CL_INVALID_OPERATION = -59
 #: vendor-extension range so it can never collide with a spec value.
 CL_DEVICE_MIGRATING = -1120
 
+#: Extension code: the Accelerators Registry is down (control-plane
+#: blackout) — retryable, the gateway/controller retry budgets absorb it.
+CL_REGISTRY_UNAVAILABLE = -1121
+
+#: Extension code: a control command carried a fencing epoch older than
+#: the Device Manager's — a zombie registry instance was fenced off.
+CL_STALE_REGISTRY_EPOCH = -1122
+
 _ERROR_NAMES = {
     value: name
     for name, value in list(globals().items())

@@ -23,6 +23,11 @@ from .instance import FunctionInstance
 class FunctionController:
     """Reconciles pods of deployed functions with running instances."""
 
+    #: Heal-path retries across retryable control-plane errors; sized to
+    #: outlast a registry blackout of a few seconds at the backoff below.
+    HEAL_RETRY_BUDGET = 6
+    HEAL_RETRY_BACKOFF = 0.25
+
     def __init__(
         self,
         env: Environment,
@@ -41,6 +46,9 @@ class FunctionController:
         self.self_heal = self_heal
         self.heals = 0
         self.heal_failures = 0
+        #: Heal attempts retried across a retryable control-plane error
+        #: (e.g. registry blackout) instead of giving up immediately.
+        self.heal_retries = 0
         self._healing: Dict[str, int] = {}
         cluster.watch(self._on_watch)
         gateway.on_deploy = lambda function: None  # deploy is pod-driven
@@ -87,11 +95,24 @@ class FunctionController:
                     labels={"runtime": function.spec.runtime,
                             "healed": "true"},
                 )
-                try:
-                    pod = yield from self.cluster.create_pod(spec)
-                except Exception:  # noqa: BLE001 - no capacity left
-                    self.heal_failures += 1
-                    return
+                pod = None
+                for attempt in range(self.HEAL_RETRY_BUDGET + 1):
+                    if attempt:
+                        # Registry blackout: back off and retry — the
+                        # control plane replays its WAL and comes back.
+                        self.heal_retries += 1
+                        yield self.env.timeout(
+                            self.HEAL_RETRY_BACKOFF * 2 ** (attempt - 1)
+                        )
+                    try:
+                        pod = yield from self.cluster.create_pod(spec)
+                        break
+                    except Exception as exc:  # noqa: BLE001 - see below
+                        if getattr(exc, "retryable", False) \
+                                and attempt < self.HEAL_RETRY_BUDGET:
+                            continue
+                        self.heal_failures += 1  # no capacity left
+                        return
                 function.add_pod(pod.name)
                 self.heals += 1
         finally:

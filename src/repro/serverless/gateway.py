@@ -111,6 +111,9 @@ class DeployedFunction:
         self.failures = 0
         self.retries = 0
         self.shed = 0
+        #: Pod-creation attempts retried because the control plane returned
+        #: a retryable error (e.g. registry blackout).
+        self.deploy_retries = 0
         #: Installed by the gateway when a resilience policy is armed.
         self.breaker: Optional[CircuitBreaker] = None
 
@@ -167,9 +170,37 @@ class Gateway:
                 node_name=spec.node_name,
                 labels={"runtime": spec.runtime},
             )
-            pod = yield from self.cluster.create_pod(pod_spec)
+            pod = yield from self._create_pod_retryable(function, pod_spec)
             function.add_pod(pod.name)
         return function
+
+    def _create_pod_retryable(self, function: DeployedFunction, pod_spec):
+        """Process: create a pod, absorbing retryable control-plane errors.
+
+        A Registry blackout surfaces as a structured retryable error
+        (``CL_REGISTRY_UNAVAILABLE``) from the admission hook; with a
+        policy armed, the deploy backs off and retries within the same
+        budget the data path uses, instead of crashing ``env.run``.  A
+        failed attempt never registers the pod, so its name is reusable.
+        """
+        policy = self.policy
+        if policy is None:
+            return (yield from self.cluster.create_pod(pod_spec))
+        last_error: Optional[Exception] = None
+        for attempt in range(policy.retry_budget + 1):
+            if attempt:
+                function.deploy_retries += 1
+                yield self.env.timeout(
+                    policy.retry_backoff
+                    * policy.backoff_factor ** (attempt - 1)
+                )
+            try:
+                return (yield from self.cluster.create_pod(pod_spec))
+            except Exception as exc:  # noqa: BLE001 - filtered just below
+                if not getattr(exc, "retryable", False):
+                    raise
+                last_error = exc
+        raise last_error
 
     def function(self, name: str) -> DeployedFunction:
         try:

@@ -220,6 +220,17 @@ class Process(Event):
         if self is self.env.active_process:
             raise SimError("a process cannot interrupt itself")
 
+        import inspect
+
+        if inspect.getgeneratorstate(self._generator) == inspect.GEN_CREATED:
+            # The generator never ran: a throw() would raise at its first
+            # line, *before* any try block, so no handler inside the
+            # process can catch it.  Close the generator instead — the
+            # pending Initialize resume then sees StopIteration and the
+            # process completes normally.
+            self._generator.close()
+            return
+
         interrupt_event = Event(self.env)
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
